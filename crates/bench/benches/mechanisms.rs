@@ -1,0 +1,70 @@
+//! Criterion benches for the per-event overhead of every mechanism's
+//! hooks — the cost a MicroLib user pays for plugging a mechanism into
+//! their own simulator.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use microlib_mech::MechanismKind;
+use microlib_model::{
+    AccessEvent, AccessKind, AccessOutcome, Addr, Cycle, LineData, PrefetchQueue, RefillCause,
+    RefillEvent,
+};
+
+fn access_event(i: u64) -> AccessEvent {
+    AccessEvent {
+        now: Cycle::new(i),
+        pc: Addr::new(0x40_0000 + (i % 64) * 4),
+        addr: Addr::new(0x10_0000 + i * 64),
+        line: Addr::new(0x10_0000 + i * 64),
+        kind: AccessKind::Load,
+        outcome: if i % 3 == 0 { AccessOutcome::Miss } else { AccessOutcome::Hit },
+        first_touch_of_prefetch: false,
+        value: Some(i),
+    }
+}
+
+fn on_access_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_on_access");
+    group.throughput(Throughput::Elements(1_000));
+    for kind in MechanismKind::study_set() {
+        group.bench_function(kind.to_string(), |b| {
+            let mut mech = kind.build();
+            let mut queue = PrefetchQueue::new(mech.request_queue_capacity());
+            b.iter(|| {
+                for i in 0..1_000u64 {
+                    mech.on_access(&access_event(i), &mut queue);
+                    queue.clear();
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn on_refill_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mechanism_on_refill");
+    group.throughput(Throughput::Elements(1_000));
+    for kind in [MechanismKind::Cdp, MechanismKind::Tk, MechanismKind::Markov] {
+        group.bench_function(kind.to_string(), |b| {
+            let mut mech = kind.build();
+            let mut queue = PrefetchQueue::new(mech.request_queue_capacity());
+            let data = LineData::from_words(&[0x4000_0040, 0, 1, 2, 3, 4, 5, 6]);
+            b.iter(|| {
+                for i in 0..1_000u64 {
+                    let ev = RefillEvent {
+                        now: Cycle::new(i),
+                        line: Addr::new(0x4000_0000 + i * 64),
+                        data,
+                        cause: RefillCause::Demand,
+                    };
+                    mech.on_refill(&ev, &mut queue);
+                    queue.clear();
+                }
+                black_box(mech.stats())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, on_access_overhead, on_refill_overhead);
+criterion_main!(benches);

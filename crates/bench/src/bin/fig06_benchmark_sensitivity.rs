@@ -1,0 +1,33 @@
+//! Fig 6 — "Benchmark sensitivity": the per-benchmark spread of speedups
+//! across all mechanisms. Some benchmarks barely react to any data-cache
+//! optimization; others make or break a mechanism's average — which is why
+//! benchmark selection can steer conclusions (Table 6/7, Fig 7).
+
+use microlib::report::{bar, text_table};
+use microlib::{benchmark_sensitivity, run_matrix};
+
+fn main() {
+    microlib_bench::header(
+        "fig06_benchmark_sensitivity",
+        "Fig 6 (Benchmark sensitivity)",
+        "Speedup spread (max - min over mechanisms) per benchmark, most sensitive first",
+    );
+    let cfg = microlib_bench::std_experiment();
+    let matrix = run_matrix(&cfg).expect("sweep runs");
+    let rows = benchmark_sensitivity(&matrix);
+    let max_span = rows.first().map(|r| r.span()).unwrap_or(1.0).max(0.05);
+    let mut table = Vec::new();
+    for r in &rows {
+        println!("{}", bar(&r.benchmark, r.span(), max_span, 40));
+        table.push(vec![
+            r.benchmark.clone(),
+            format!("{:.3}", r.min_speedup),
+            format!("{:.3}", r.max_speedup),
+            format!("{:.3}", r.span()),
+        ]);
+    }
+    println!();
+    println!("{}", text_table(&["benchmark", "min speedup", "max speedup", "span"], &table));
+    println!("paper's high-sensitivity set: apsi, equake, fma3d, mgrid, swim, gap");
+    println!("paper's low-sensitivity set:  wupwise, bzip2, crafty, eon, perlbmk, vortex");
+}

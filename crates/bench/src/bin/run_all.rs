@@ -1,0 +1,59 @@
+//! Runs the complete experiment battery (every figure and table) and
+//! captures each harness's output under `results/`.
+
+use std::fs;
+use std::process::Command;
+
+const EXPERIMENTS: [&str; 14] = [
+    "ablation_fidelity",
+    "tab01_config",
+    "fig01_model_validation",
+    "fig02_reveng_error",
+    "fig03_dbcp_fix",
+    "fig04_speedup",
+    "fig05_power_cost",
+    "tab05_prior_comparisons",
+    "tab06_subset_winners",
+    "tab07_selection_ranking",
+    "fig06_benchmark_sensitivity",
+    "fig07_sensitivity_selection",
+    "fig08_memory_model",
+    "fig09_mshr",
+];
+
+// fig10/fig11 are slow (per-benchmark resimulation); they run last so a
+// partial battery still covers the headline results.
+const SLOW_EXPERIMENTS: [&str; 2] = ["fig10_second_guessing", "fig11_trace_selection"];
+
+fn main() {
+    let exe_dir = std::env::current_exe()
+        .expect("own path")
+        .parent()
+        .expect("bin dir")
+        .to_path_buf();
+    fs::create_dir_all("results").expect("results dir");
+
+    let all: Vec<&str> = EXPERIMENTS
+        .iter()
+        .chain(SLOW_EXPERIMENTS.iter())
+        .copied()
+        .collect();
+    for name in all {
+        let bin = exe_dir.join(name);
+        if !bin.exists() {
+            eprintln!("skipping {name}: binary not built (cargo build --release -p microlib-bench)");
+            continue;
+        }
+        println!(">>> {name}");
+        let t = std::time::Instant::now();
+        let out = Command::new(&bin).output().expect("experiment runs");
+        let path = format!("results/{name}.txt");
+        fs::write(&path, &out.stdout).expect("write result");
+        if !out.status.success() {
+            eprintln!("{name} FAILED:\n{}", String::from_utf8_lossy(&out.stderr));
+        } else {
+            println!("    -> {path} ({:.1?})", t.elapsed());
+        }
+    }
+    println!("\nall results under results/");
+}

@@ -1,0 +1,96 @@
+//! # microlib-bench
+//!
+//! Experiment harnesses that regenerate every figure and table of the
+//! MicroLib paper. Each `fig*`/`tab*` binary prints the same rows/series
+//! the paper reports; `run_all` executes the full battery. See DESIGN.md §6
+//! for the experiment index and EXPERIMENTS.md for measured-vs-paper notes.
+//!
+//! All binaries accept the environment overrides:
+//!
+//! - `MICROLIB_SKIP` — warmed (functionally simulated) instructions
+//!   (default 150 000);
+//! - `MICROLIB_SIM` — detailed-simulated instructions (default 100 000);
+//! - `MICROLIB_SEED` — workload seed (default `0xC0FFEE`);
+//! - `MICROLIB_THREADS` — worker threads (default: all cores).
+
+#![warn(missing_docs)]
+
+use microlib::{ExperimentConfig, SimOptions};
+use microlib_trace::TraceWindow;
+
+/// Environment-configurable trace window shared by all experiments.
+pub fn std_window() -> TraceWindow {
+    let skip = env_u64("MICROLIB_SKIP", 150_000);
+    let simulate = env_u64("MICROLIB_SIM", 100_000);
+    TraceWindow::new(skip, simulate)
+}
+
+/// The longer "article setup" window for validation experiments (the
+/// paper's "skip 1 billion, simulate 2 billion", scaled).
+pub fn article_window() -> TraceWindow {
+    let w = std_window();
+    TraceWindow::new(w.skip / 2, w.simulate * 2)
+}
+
+/// Environment-configurable seed.
+pub fn std_seed() -> u64 {
+    env_u64("MICROLIB_SEED", 0xC0FFEE)
+}
+
+/// Environment-configurable thread count (0 = all cores).
+pub fn std_threads() -> usize {
+    env_u64("MICROLIB_THREADS", 0) as usize
+}
+
+/// Standard [`SimOptions`] for single runs.
+pub fn std_options() -> SimOptions {
+    SimOptions {
+        seed: std_seed(),
+        window: std_window(),
+        ..SimOptions::default()
+    }
+}
+
+/// The paper's main sweep configuration with environment overrides applied.
+pub fn std_experiment() -> ExperimentConfig {
+    let mut cfg = ExperimentConfig::paper_baseline(std_window());
+    cfg.seed = std_seed();
+    cfg.threads = std_threads();
+    cfg
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Prints the standard experiment header.
+pub fn header(id: &str, paper_ref: &str, what: &str) {
+    println!("==============================================================");
+    println!("{id} — {paper_ref}");
+    println!("{what}");
+    println!("window: {} (seed {:#x})", std_window(), std_seed());
+    println!("==============================================================");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_sane() {
+        let w = std_window();
+        assert!(w.simulate > 0);
+        assert!(std_options().window.simulate > 0);
+        let cfg = std_experiment();
+        assert_eq!(cfg.benchmarks.len(), 26);
+        assert_eq!(cfg.mechanisms.len(), 13);
+    }
+
+    #[test]
+    fn article_window_is_longer() {
+        assert!(article_window().simulate > std_window().simulate);
+    }
+}

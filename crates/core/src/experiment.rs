@@ -1,0 +1,277 @@
+//! The experiment matrix: (benchmark × mechanism) sweeps with a shared
+//! configuration, parallelized across OS threads.
+
+use crate::simulator::{run_one, RunResult, SimError, SimOptions};
+use microlib_mech::MechanismKind;
+use microlib_model::SystemConfig;
+use microlib_trace::{benchmarks, TraceWindow};
+use std::sync::Mutex;
+
+/// Declarative description of a (benchmark × mechanism) sweep.
+#[derive(Clone, Debug)]
+pub struct ExperimentConfig {
+    /// Shared system configuration.
+    pub system: SystemConfig,
+    /// Benchmarks to run (names from [`benchmarks::NAMES`]).
+    pub benchmarks: Vec<String>,
+    /// Mechanism configurations to compare.
+    pub mechanisms: Vec<MechanismKind>,
+    /// Trace window (identical across cells — the paper's fixed-trace
+    /// methodology).
+    pub window: TraceWindow,
+    /// Workload seed.
+    pub seed: u64,
+    /// Worker threads (0 = one per available core).
+    pub threads: usize,
+}
+
+impl ExperimentConfig {
+    /// The paper's main setup: all 26 benchmarks × the 13 study
+    /// configurations on the Table 1 baseline.
+    pub fn paper_baseline(window: TraceWindow) -> Self {
+        ExperimentConfig {
+            system: SystemConfig::baseline(),
+            benchmarks: benchmarks::NAMES.iter().map(|s| s.to_string()).collect(),
+            mechanisms: MechanismKind::study_set().to_vec(),
+            window,
+            seed: 0xC0FFEE,
+            threads: 0,
+        }
+    }
+
+    fn options(&self) -> SimOptions {
+        SimOptions {
+            seed: self.seed,
+            window: self.window,
+            ..SimOptions::default()
+        }
+    }
+}
+
+/// Results of a full sweep, indexable by (benchmark, mechanism).
+#[derive(Clone, Debug)]
+pub struct Matrix {
+    benchmarks: Vec<String>,
+    mechanisms: Vec<MechanismKind>,
+    results: Vec<RunResult>, // row-major: benchmark-major, mechanism-minor
+}
+
+impl Matrix {
+    /// Benchmarks in row order.
+    pub fn benchmarks(&self) -> &[String] {
+        &self.benchmarks
+    }
+
+    /// Mechanisms in column order.
+    pub fn mechanisms(&self) -> &[MechanismKind] {
+        &self.mechanisms
+    }
+
+    /// The result cell for (benchmark, mechanism).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either coordinate was not part of the sweep.
+    pub fn result(&self, benchmark: &str, mechanism: MechanismKind) -> &RunResult {
+        let b = self
+            .benchmarks
+            .iter()
+            .position(|n| n == benchmark)
+            .unwrap_or_else(|| panic!("benchmark {benchmark} not in sweep"));
+        let m = self
+            .mechanisms
+            .iter()
+            .position(|k| *k == mechanism)
+            .unwrap_or_else(|| panic!("mechanism {mechanism} not in sweep"));
+        &self.results[b * self.mechanisms.len() + m]
+    }
+
+    /// IPC speedup of `mechanism` on `benchmark` relative to the sweep's
+    /// `Base` column.
+    pub fn speedup(&self, benchmark: &str, mechanism: MechanismKind) -> f64 {
+        let base = self.result(benchmark, MechanismKind::Base);
+        self.result(benchmark, mechanism).perf.speedup_over(&base.perf)
+    }
+
+    /// Per-benchmark speedups for one mechanism, in benchmark order.
+    pub fn speedups_for(&self, mechanism: MechanismKind) -> Vec<f64> {
+        self.benchmarks
+            .iter()
+            .map(|b| self.speedup(b, mechanism))
+            .collect()
+    }
+
+    /// Mean speedup over a benchmark selection (the paper's per-figure
+    /// averages).
+    pub fn mean_speedup_over(&self, mechanism: MechanismKind, selection: &[&str]) -> f64 {
+        let vals: Vec<f64> = selection
+            .iter()
+            .map(|b| self.speedup(b, mechanism))
+            .collect();
+        microlib_model::stats::mean(&vals).unwrap_or(0.0)
+    }
+
+    /// Mean speedup over all benchmarks in the sweep.
+    pub fn mean_speedup(&self, mechanism: MechanismKind) -> f64 {
+        let names: Vec<&str> = self.benchmarks.iter().map(String::as_str).collect();
+        self.mean_speedup_over(mechanism, &names)
+    }
+
+    /// All cells (for custom aggregation).
+    pub fn iter(&self) -> impl Iterator<Item = &RunResult> {
+        self.results.iter()
+    }
+}
+
+/// Runs the sweep, parallelizing cells across threads.
+///
+/// # Errors
+///
+/// Returns the first [`SimError`] any cell produced.
+///
+/// # Examples
+///
+/// ```
+/// use microlib::{run_matrix, ExperimentConfig};
+/// use microlib_mech::MechanismKind;
+/// use microlib_model::SystemConfig;
+/// use microlib_trace::TraceWindow;
+///
+/// let cfg = ExperimentConfig {
+///     system: SystemConfig::baseline_constant_memory(),
+///     benchmarks: vec!["swim".into(), "crafty".into()],
+///     mechanisms: vec![MechanismKind::Base, MechanismKind::Sp],
+///     window: TraceWindow::new(0, 2_000),
+///     seed: 7,
+///     threads: 2,
+/// };
+/// let matrix = run_matrix(&cfg)?;
+/// assert!(matrix.speedup("swim", MechanismKind::Sp) > 0.0);
+/// # Ok::<(), microlib::SimError>(())
+/// ```
+pub fn run_matrix(config: &ExperimentConfig) -> Result<Matrix, SimError> {
+    config.system.validate()?;
+    let jobs: Vec<(usize, String, MechanismKind)> = config
+        .benchmarks
+        .iter()
+        .enumerate()
+        .flat_map(|(b, bench)| {
+            config
+                .mechanisms
+                .iter()
+                .enumerate()
+                .map(move |(m, mech)| (b * config.mechanisms.len() + m, bench.clone(), *mech))
+        })
+        .collect();
+
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4)
+    } else {
+        config.threads
+    }
+    .max(1);
+
+    let slots: Mutex<Vec<Option<Result<RunResult, SimError>>>> =
+        Mutex::new((0..jobs.len()).map(|_| None).collect());
+    let next: Mutex<usize> = Mutex::new(0);
+    let opts = config.options();
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(jobs.len().max(1)) {
+            scope.spawn(|| loop {
+                let job = {
+                    let mut cursor = next.lock().expect("job cursor");
+                    if *cursor >= jobs.len() {
+                        break;
+                    }
+                    let j = jobs[*cursor].clone();
+                    *cursor += 1;
+                    j
+                };
+                let (slot, bench, mech) = job;
+                let outcome = run_one(&config.system, mech, &bench, &opts);
+                slots.lock().expect("result slots")[slot] = Some(outcome);
+            });
+        }
+    });
+
+    let mut results = Vec::with_capacity(jobs.len());
+    for slot in slots.into_inner().expect("slots") {
+        results.push(slot.expect("every job ran")?);
+    }
+    Ok(Matrix {
+        benchmarks: config.benchmarks.clone(),
+        mechanisms: config.mechanisms.clone(),
+        results,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ExperimentConfig {
+        ExperimentConfig {
+            system: SystemConfig::baseline_constant_memory(),
+            benchmarks: vec!["swim".into(), "gzip".into()],
+            mechanisms: vec![MechanismKind::Base, MechanismKind::Tp],
+            window: TraceWindow::new(0, 2_000),
+            seed: 1,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn matrix_has_all_cells() {
+        let m = run_matrix(&tiny_config()).unwrap();
+        assert_eq!(m.benchmarks().len(), 2);
+        assert_eq!(m.mechanisms().len(), 2);
+        for b in ["swim", "gzip"] {
+            for k in [MechanismKind::Base, MechanismKind::Tp] {
+                let r = m.result(b, k);
+                assert_eq!(r.benchmark, b);
+                assert_eq!(r.mechanism, k);
+                assert_eq!(r.perf.instructions, 2_000);
+            }
+        }
+    }
+
+    #[test]
+    fn base_speedup_is_exactly_one() {
+        let m = run_matrix(&tiny_config()).unwrap();
+        for b in ["swim", "gzip"] {
+            assert!((m.speedup(b, MechanismKind::Base) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let mut cfg = tiny_config();
+        cfg.threads = 1;
+        let serial = run_matrix(&cfg).unwrap();
+        cfg.threads = 4;
+        let parallel = run_matrix(&cfg).unwrap();
+        for b in ["swim", "gzip"] {
+            for k in [MechanismKind::Base, MechanismKind::Tp] {
+                assert_eq!(serial.result(b, k).perf, parallel.result(b, k).perf);
+            }
+        }
+    }
+
+    #[test]
+    fn mean_speedup_over_selection() {
+        let m = run_matrix(&tiny_config()).unwrap();
+        let all = m.mean_speedup(MechanismKind::Tp);
+        let swim_only = m.mean_speedup_over(MechanismKind::Tp, &["swim"]);
+        assert!(all > 0.0 && swim_only > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in sweep")]
+    fn missing_cell_panics() {
+        let m = run_matrix(&tiny_config()).unwrap();
+        m.result("mcf", MechanismKind::Base);
+    }
+}

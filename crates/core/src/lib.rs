@@ -1,0 +1,76 @@
+//! # microlib
+//!
+//! A Rust reproduction of **MicroLib** — *"MicroLib: A Case for the
+//! Quantitative Comparison of Micro-Architecture Mechanisms"* (Gracia
+//! Pérez, Mouchard, Temam; MICRO 2004): an open library of modular
+//! processor-simulator components, populated with the paper's thirteen
+//! data-cache mechanism configurations, plus the complete quantitative-
+//! comparison methodology (ranking, benchmark-selection analysis,
+//! model-precision studies, trace-selection studies).
+//!
+//! ## Architecture
+//!
+//! | Crate | Role |
+//! |---|---|
+//! | [`microlib_model`] | shared vocabulary: events, the `Mechanism` trait, Table 1 configuration |
+//! | [`microlib_mem`] | functional memory, detailed caches/MSHRs/buses, SDRAM |
+//! | [`microlib_trace`] | 26 synthetic SPEC CPU2000 workloads, BBV + SimPoint |
+//! | [`microlib_cpu`] | out-of-order RUU/LSQ core (sim-outorder-like) |
+//! | [`microlib_mech`] | the mechanisms: TP, VC, SP, Markov, FVC, DBCP(+initial), TKVC, TK, CDP, CDPSP, TCP, GHB |
+//! | [`microlib_cost`] | CACTI-like area + XCACTI-like energy models |
+//! | `microlib` (this crate) | simulation driver, experiment matrix, ranking & analysis |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use microlib::{run_one, SimOptions};
+//! use microlib_mech::MechanismKind;
+//! use microlib_model::SystemConfig;
+//! use microlib_trace::TraceWindow;
+//!
+//! let opts = SimOptions {
+//!     window: TraceWindow::new(0, 5_000),
+//!     ..SimOptions::default()
+//! };
+//! let config = SystemConfig::baseline_constant_memory();
+//! let base = run_one(&config, MechanismKind::Base, "swim", &opts)?;
+//! let ghb = run_one(&config, MechanismKind::Ghb, "swim", &opts)?;
+//! println!(
+//!     "GHB speedup on swim: {:.3}",
+//!     ghb.perf.speedup_over(&base.perf)
+//! );
+//! # Ok::<(), microlib::SimError>(())
+//! ```
+//!
+//! The `crates/bench` experiment binaries regenerate every figure and
+//! table of the paper; see `DESIGN.md` for the experiment index and
+//! `EXPERIMENTS.md` for measured-vs-paper results.
+
+#![warn(missing_docs)]
+
+mod experiment;
+mod ranking;
+pub mod report;
+mod sensitivity;
+mod simulator;
+mod validation;
+
+pub use experiment::{run_matrix, ExperimentConfig, Matrix};
+pub use ranking::{
+    rank_mechanisms, ranking_row, subset_winner_analysis, RankedMechanism, SubsetWinners,
+};
+pub use sensitivity::{benchmark_sensitivity, sensitivity_classes, BenchmarkSensitivity};
+pub use simulator::{run_custom, run_one, RunResult, SimError, SimOptions};
+pub use validation::{
+    compare_dbcp_variants, compare_fidelity, compare_setups, speedup_of, DbcpComparison,
+    FidelityComparison, SetupComparison,
+};
+
+// Re-export the component crates so downstream users need only one
+// dependency (the "library" face of MicroLib).
+pub use microlib_cost as cost;
+pub use microlib_cpu as cpu;
+pub use microlib_mech as mech;
+pub use microlib_mem as mem;
+pub use microlib_model as model;
+pub use microlib_trace as trace;

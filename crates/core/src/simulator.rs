@@ -1,0 +1,360 @@
+//! The canonical driver: workload + out-of-order core + memory hierarchy +
+//! one mechanism, run over a trace window.
+
+use microlib_cpu::{CoreStats, OoOCore};
+use microlib_mech::MechanismKind;
+use microlib_mem::{IntegrityError, MemorySystem};
+use microlib_model::{
+    CacheStats, ConfigError, HardwareBudget, MechanismStats, MemoryStats, PerfSummary,
+    PrefetchQueueStats, SystemConfig,
+};
+use microlib_trace::{benchmarks, TraceWindow, Workload};
+use std::fmt;
+
+/// Everything a simulation run needs besides the system configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct SimOptions {
+    /// Workload layout/stream seed.
+    pub seed: u64,
+    /// Trace window to simulate.
+    pub window: TraceWindow,
+    /// Whether to run the per-load value-integrity checker (on by default;
+    /// it is cheap and catches protocol bugs).
+    pub check_values: bool,
+    /// Hard cycle budget per run (guards against configuration-induced
+    /// livelock).
+    pub max_cycles: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            seed: 0xC0FFEE,
+            window: TraceWindow::new(20_000, 100_000),
+            check_values: true,
+            max_cycles: 0, // derived from the window
+        }
+    }
+}
+
+impl SimOptions {
+    /// The effective cycle budget.
+    pub fn cycle_budget(&self) -> u64 {
+        if self.max_cycles > 0 {
+            self.max_cycles
+        } else {
+            // Generous: even IPC 0.01 fits.
+            self.window.simulate.max(1_000) * 120 + 200_000
+        }
+    }
+}
+
+/// Complete measurements from one simulation run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Mechanism configuration simulated.
+    pub mechanism: MechanismKind,
+    /// Committed instructions / cycles.
+    pub perf: PerfSummary,
+    /// Core counters.
+    pub core: CoreStats,
+    /// L1 data cache counters.
+    pub l1d: CacheStats,
+    /// L1 instruction cache counters.
+    pub l1i: CacheStats,
+    /// L2 counters.
+    pub l2: CacheStats,
+    /// Main-memory counters.
+    pub memory: MemoryStats,
+    /// Mechanism counters (L1 slot).
+    pub mech_l1: Option<MechanismStats>,
+    /// Mechanism counters (L2 slot).
+    pub mech_l2: Option<MechanismStats>,
+    /// Prefetch-queue counters (L1 slot).
+    pub queue_l1: Option<PrefetchQueueStats>,
+    /// Prefetch-queue counters (L2 slot).
+    pub queue_l2: Option<PrefetchQueueStats>,
+    /// The mechanism's hardware inventory.
+    pub hardware: HardwareBudget,
+}
+
+impl RunResult {
+    /// The mechanism's combined activity counters (whichever slot it used).
+    pub fn mechanism_stats(&self) -> MechanismStats {
+        self.mech_l1.or(self.mech_l2).unwrap_or_default()
+    }
+}
+
+/// Why a simulation run failed.
+#[derive(Debug)]
+pub enum SimError {
+    /// The system configuration was rejected.
+    Config(ConfigError),
+    /// The benchmark name is not in the registry.
+    UnknownBenchmark(String),
+    /// A loaded value diverged from the architectural memory image.
+    Integrity {
+        /// Benchmark being simulated.
+        benchmark: String,
+        /// The divergence.
+        error: IntegrityError,
+    },
+    /// The run exceeded its cycle budget.
+    Timeout {
+        /// Benchmark being simulated.
+        benchmark: String,
+        /// Budget that was exhausted.
+        cycles: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Config(e) => write!(f, "{e}"),
+            SimError::UnknownBenchmark(n) => write!(f, "unknown benchmark {n:?}"),
+            SimError::Integrity { benchmark, error } => {
+                write!(f, "{benchmark}: {error}")
+            }
+            SimError::Timeout { benchmark, cycles } => {
+                write!(f, "{benchmark}: exceeded {cycles}-cycle budget")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<ConfigError> for SimError {
+    fn from(e: ConfigError) -> Self {
+        SimError::Config(e)
+    }
+}
+
+/// Runs one (benchmark, mechanism, configuration) simulation.
+///
+/// # Errors
+///
+/// Returns a [`SimError`] for invalid configurations, unknown benchmarks,
+/// value-integrity violations, or cycle-budget exhaustion.
+///
+/// # Examples
+///
+/// ```
+/// use microlib::{run_one, SimOptions};
+/// use microlib_mech::MechanismKind;
+/// use microlib_model::SystemConfig;
+/// use microlib_trace::TraceWindow;
+///
+/// let opts = SimOptions {
+///     window: TraceWindow::new(0, 3_000),
+///     ..SimOptions::default()
+/// };
+/// let result = run_one(
+///     &SystemConfig::baseline_constant_memory(),
+///     MechanismKind::Base,
+///     "swim",
+///     &opts,
+/// )?;
+/// assert_eq!(result.perf.instructions, 3_000);
+/// assert!(result.perf.ipc() > 0.0);
+/// # Ok::<(), microlib::SimError>(())
+/// ```
+pub fn run_one(
+    config: &SystemConfig,
+    mechanism: MechanismKind,
+    benchmark: &str,
+    opts: &SimOptions,
+) -> Result<RunResult, SimError> {
+    run_custom(config, mechanism.build(), mechanism, benchmark, opts)
+}
+
+/// Like [`run_one`] but with a caller-constructed mechanism instance —
+/// the hook for parameter studies such as Fig 10's prefetch-queue-size
+/// sweep. `label` tags the result rows.
+///
+/// # Errors
+///
+/// Same conditions as [`run_one`].
+pub fn run_custom(
+    config: &SystemConfig,
+    mech: Box<dyn microlib_model::Mechanism>,
+    label: MechanismKind,
+    benchmark: &str,
+    opts: &SimOptions,
+) -> Result<RunResult, SimError> {
+    let profile = benchmarks::by_name(benchmark)
+        .ok_or_else(|| SimError::UnknownBenchmark(benchmark.to_owned()))?;
+    let workload = Workload::new(profile, opts.seed);
+
+    let mechanism = label;
+    let hardware = mech.hardware();
+    let mut mem = MemorySystem::new(config.clone(), vec![mech])?;
+    mem.set_check_values(opts.check_values);
+    workload.initialize(mem.functional_mut());
+
+    let mut core = OoOCore::new(config.core);
+
+    // The skip region warms caches and mechanism tables functionally (the
+    // paper's long SimPoint traces run in steady state; see
+    // `MemorySystem::warm_inst`), then the window is simulated in detail.
+    let mut stream = workload.stream();
+    for _ in 0..opts.window.skip {
+        let Some(inst) = stream.next() else { break };
+        let mem_ref = inst
+            .mem
+            .map(|m| (m.addr, if m.is_store { microlib_model::AccessKind::Store } else { microlib_model::AccessKind::Load }, m.value));
+        mem.warm_inst(inst.pc, mem_ref);
+    }
+    let start = mem.finish_warmup();
+    let mut trace = stream.take(opts.window.simulate as usize);
+
+    let budget = opts.cycle_budget() + start.raw();
+    let mut now = start;
+    loop {
+        let completions = mem.begin_cycle(now);
+        core.cycle(now, &completions, &mut mem, &mut trace);
+        if let Some(error) = mem.integrity_error() {
+            return Err(SimError::Integrity {
+                benchmark: benchmark.to_owned(),
+                error,
+            });
+        }
+        if core.drained() {
+            break;
+        }
+        if now.raw() >= budget {
+            return Err(SimError::Timeout {
+                benchmark: benchmark.to_owned(),
+                cycles: budget,
+            });
+        }
+        now += 1;
+    }
+
+    let core_stats = core.stats();
+    let (queue_l1, queue_l2) = mem.prefetch_queue_stats();
+    Ok(RunResult {
+        benchmark: benchmark.to_owned(),
+        mechanism,
+        perf: PerfSummary {
+            instructions: core_stats.committed,
+            cycles: core_stats.cycles,
+        },
+        core: core_stats,
+        l1d: mem.l1d_stats(),
+        l1i: mem.l1i_stats(),
+        l2: mem.l2_stats(),
+        memory: mem.memory_stats(),
+        mech_l1: mem.l1_mechanism_stats(),
+        mech_l2: mem.l2_mechanism_stats(),
+        queue_l1,
+        queue_l2,
+        hardware,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_opts(n: u64) -> SimOptions {
+        SimOptions {
+            window: TraceWindow::new(0, n),
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn base_run_commits_every_instruction() {
+        let r = run_one(
+            &SystemConfig::baseline_constant_memory(),
+            MechanismKind::Base,
+            "crafty",
+            &quick_opts(5_000),
+        )
+        .unwrap();
+        assert_eq!(r.perf.instructions, 5_000);
+        assert!(r.perf.cycles > 0);
+        assert!(r.l1d.accesses() > 500, "crafty has memory traffic");
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let e = run_one(
+            &SystemConfig::baseline(),
+            MechanismKind::Base,
+            "quake3",
+            &quick_opts(100),
+        )
+        .unwrap_err();
+        assert!(matches!(e, SimError::UnknownBenchmark(_)));
+        assert!(e.to_string().contains("quake3"));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = run_one(
+            &SystemConfig::baseline_constant_memory(),
+            MechanismKind::Ghb,
+            "swim",
+            &quick_opts(4_000),
+        )
+        .unwrap();
+        let b = run_one(
+            &SystemConfig::baseline_constant_memory(),
+            MechanismKind::Ghb,
+            "swim",
+            &quick_opts(4_000),
+        )
+        .unwrap();
+        assert_eq!(a.perf, b.perf);
+        assert_eq!(a.l1d, b.l1d);
+        assert_eq!(a.l2, b.l2);
+    }
+
+    #[test]
+    fn every_mechanism_survives_a_smoke_run() {
+        for kind in MechanismKind::study_set() {
+            let r = run_one(
+                &SystemConfig::baseline_constant_memory(),
+                kind,
+                "gzip",
+                &quick_opts(3_000),
+            )
+            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+            assert_eq!(r.perf.instructions, 3_000, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn sdram_memory_model_runs() {
+        let r = run_one(
+            &SystemConfig::baseline(),
+            MechanismKind::Sp,
+            "swim",
+            &quick_opts(4_000),
+        )
+        .unwrap();
+        assert!(r.memory.requests > 0, "swim must reach DRAM");
+        assert!(r.memory.average_latency().unwrap() > 30.0);
+    }
+
+    #[test]
+    fn window_skip_is_respected() {
+        let opts = SimOptions {
+            window: TraceWindow::new(5_000, 2_000),
+            ..SimOptions::default()
+        };
+        let r = run_one(
+            &SystemConfig::baseline_constant_memory(),
+            MechanismKind::Base,
+            "gcc",
+            &opts,
+        )
+        .unwrap();
+        assert_eq!(r.perf.instructions, 2_000);
+    }
+}

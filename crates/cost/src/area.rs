@@ -1,0 +1,165 @@
+//! CACTI-like analytical SRAM area model.
+//!
+//! The paper "evaluated the relative cost (chip area) of each mechanism
+//! using CACTI 3.2" and reported *ratios* of mechanism area to base cache
+//! area (Fig 5). CACTI itself is a closed-form cache geometry optimizer;
+//! this model keeps the parts the ratio depends on — storage bits dominate,
+//! with multiplicative overheads for associativity (comparators, extra tag
+//! width) and ports (wordline/bitline duplication) and a small fixed
+//! decoder/sense overhead per table.
+
+use microlib_model::{CacheConfig, HardwareBudget, SramTable};
+
+/// Area model tuned to 180 nm-era CACTI 3.2 outputs.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_cost::AreaModel;
+/// use microlib_model::CacheConfig;
+///
+/// let model = AreaModel::default();
+/// let l1 = model.cache_area_mm2(&CacheConfig::baseline_l1d());
+/// let l2 = model.cache_area_mm2(&CacheConfig::baseline_l2());
+/// assert!(l2 > 10.0 * l1, "a 1 MB L2 dwarfs a 32 KB L1");
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct AreaModel {
+    /// mm² per storage bit (cell + proportional overhead).
+    pub mm2_per_bit: f64,
+    /// Multiplicative overhead per doubling of associativity.
+    pub assoc_overhead: f64,
+    /// Multiplicative overhead per extra port.
+    pub port_overhead: f64,
+    /// Fixed decoder/sense-amp overhead per table in mm².
+    pub fixed_mm2: f64,
+}
+
+impl Default for AreaModel {
+    fn default() -> Self {
+        AreaModel {
+            // ~84 mm² for a 1 MB single-ported direct-mapped array at
+            // 180 nm — in CACTI 3.2's ballpark.
+            mm2_per_bit: 1.0e-5,
+            assoc_overhead: 0.06,
+            port_overhead: 0.35,
+            fixed_mm2: 0.01,
+        }
+    }
+}
+
+impl AreaModel {
+    /// Area of one SRAM table in mm².
+    pub fn table_area_mm2(&self, table: &SramTable) -> f64 {
+        let bits = table.total_bits() as f64;
+        if bits == 0.0 {
+            return 0.0;
+        }
+        let assoc = if table.assoc == 0 {
+            table.entries.max(1) as f64 // fully associative: CAM-like
+        } else {
+            table.assoc as f64
+        };
+        let assoc_factor = 1.0 + self.assoc_overhead * assoc.log2().max(0.0);
+        let port_factor = 1.0 + self.port_overhead * (table.ports.saturating_sub(1)) as f64;
+        bits * self.mm2_per_bit * assoc_factor * port_factor + self.fixed_mm2
+    }
+
+    /// Total area of a mechanism's added hardware in mm².
+    pub fn budget_area_mm2(&self, budget: &HardwareBudget) -> f64 {
+        budget.tables.iter().map(|t| self.table_area_mm2(t)).sum()
+    }
+
+    /// Area of a cache (data + tag array) in mm².
+    pub fn cache_area_mm2(&self, cache: &CacheConfig) -> f64 {
+        let tag_bits = 64 - (cache.line_bytes.trailing_zeros() + cache.sets().trailing_zeros()) as u64;
+        let state_bits = 4; // valid/dirty/prefetched/touched
+        let table = SramTable {
+            name: cache.name.clone(),
+            entries: cache.lines(),
+            entry_bits: cache.line_bytes * 8 + tag_bits + state_bits,
+            assoc: cache.assoc,
+            ports: cache.ports,
+        };
+        self.table_area_mm2(&table)
+    }
+
+    /// Fig 5's metric: mechanism area relative to the base data-cache
+    /// hierarchy area (L1D + L2).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microlib_cost::AreaModel;
+    /// use microlib_model::HardwareBudget;
+    ///
+    /// let model = AreaModel::default();
+    /// assert_eq!(model.cost_ratio(&HardwareBudget::none("TP")), 0.0);
+    /// ```
+    pub fn cost_ratio(&self, budget: &HardwareBudget) -> f64 {
+        let base = self.cache_area_mm2(&CacheConfig::baseline_l1d())
+            + self.cache_area_mm2(&CacheConfig::baseline_l2());
+        if base <= 0.0 {
+            return 0.0;
+        }
+        let mech = self.budget_area_mm2(budget);
+        if budget.tables.is_empty() {
+            0.0
+        } else {
+            mech / base
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn area_scales_with_bits() {
+        let m = AreaModel::default();
+        let small = SramTable::new("s", 1024, 32, 1);
+        let big = SramTable::new("b", 4096, 32, 1);
+        assert!(m.table_area_mm2(&big) > 3.0 * m.table_area_mm2(&small));
+    }
+
+    #[test]
+    fn ports_cost_area() {
+        let m = AreaModel::default();
+        let one = SramTable {
+            ports: 1,
+            ..SramTable::new("t", 8192, 64, 1)
+        };
+        let four = SramTable {
+            ports: 4,
+            ..SramTable::new("t", 8192, 64, 1)
+        };
+        assert!(m.table_area_mm2(&four) > 1.8 * m.table_area_mm2(&one));
+    }
+
+    #[test]
+    fn fully_associative_is_expensive_per_bit() {
+        let m = AreaModel::default();
+        let dm = SramTable::new("dm", 64, 256, 1);
+        let fa = SramTable::new("fa", 64, 256, 0);
+        assert!(m.table_area_mm2(&fa) > m.table_area_mm2(&dm));
+    }
+
+    #[test]
+    fn empty_budget_is_free() {
+        let m = AreaModel::default();
+        assert_eq!(m.cost_ratio(&HardwareBudget::none("Base")), 0.0);
+    }
+
+    #[test]
+    fn megabyte_tables_rival_the_hierarchy() {
+        // A 2 MB correlation table (DBCP) must cost more than the whole
+        // base hierarchy (~1 MB L2 + 32 KB L1).
+        let m = AreaModel::default();
+        let budget = HardwareBudget::with_tables(
+            "DBCP",
+            vec![SramTable::new("corr", 131_072, 128, 8)],
+        );
+        assert!(m.cost_ratio(&budget) > 1.0, "ratio {}", m.cost_ratio(&budget));
+    }
+}

@@ -1,0 +1,211 @@
+//! XCACTI-like energy model: per-access dynamic energy for SRAM structures
+//! combined with *measured* activity counts from simulation.
+//!
+//! Fig 5's power argument is about the energy = activity × per-access-cost
+//! product: Markov and DBCP burn power in huge tables; GHB's tables are
+//! tiny but "each miss can induce up to 4 requests, and a table is scanned
+//! repeatedly, hence the high power consumption"; SP issues a single
+//! request per miss and stays efficient. Off-chip access power is *not*
+//! modelled, matching the paper's footnote 4.
+
+use crate::area::AreaModel;
+use microlib_model::{CacheConfig, CacheStats, HardwareBudget, MechanismStats, SramTable};
+
+/// Per-access energy model.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_cost::EnergyModel;
+/// use microlib_model::SramTable;
+///
+/// let model = EnergyModel::default();
+/// let small = SramTable::new("s", 256, 40, 1);
+/// let big = SramTable::new("b", 131_072, 128, 8);
+/// assert!(model.access_energy_nj(&big) > model.access_energy_nj(&small));
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyModel {
+    /// Fixed energy per access (decode + sense), nJ.
+    pub base_nj: f64,
+    /// Energy growth with the square root of capacity bits, nJ.
+    pub bitline_nj: f64,
+    /// Extra factor per way searched.
+    pub assoc_nj: f64,
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel {
+            base_nj: 0.05,
+            bitline_nj: 0.002,
+            assoc_nj: 0.04,
+        }
+    }
+}
+
+/// Activity observed during one simulation run, fed to
+/// [`EnergyModel::power_ratio`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunActivity {
+    /// L1 data cache counters for the run.
+    pub l1d: CacheStats,
+    /// L2 counters for the run.
+    pub l2: CacheStats,
+    /// Attached mechanism counters (zeroed for the baseline run).
+    pub mechanism: MechanismStats,
+}
+
+impl EnergyModel {
+    /// Dynamic energy of one access to `table`, in nJ.
+    pub fn access_energy_nj(&self, table: &SramTable) -> f64 {
+        let ways = if table.assoc == 0 {
+            table.entries.max(1) as f64
+        } else {
+            table.assoc as f64
+        };
+        self.base_nj + self.bitline_nj * (table.total_bits() as f64).sqrt() + self.assoc_nj * ways
+    }
+
+    /// Per-access energy of a cache array.
+    pub fn cache_access_energy_nj(&self, cache: &CacheConfig) -> f64 {
+        let tag_bits =
+            64 - (cache.line_bytes.trailing_zeros() + cache.sets().trailing_zeros()) as u64;
+        let table = SramTable {
+            name: cache.name.clone(),
+            entries: cache.lines(),
+            entry_bits: cache.line_bytes * 8 + tag_bits + 4,
+            assoc: cache.assoc,
+            ports: cache.ports,
+        };
+        self.access_energy_nj(&table)
+    }
+
+    fn cache_energy_nj(&self, cache: &CacheConfig, stats: &CacheStats) -> f64 {
+        let per_access = self.cache_access_energy_nj(cache);
+        let events = stats.accesses()
+            + stats.demand_fills
+            + stats.prefetch_fills
+            + stats.writebacks
+            + stats.sidecar_hits;
+        events as f64 * per_access
+    }
+
+    /// Total energy a mechanism's own tables consumed, given its activity.
+    pub fn mechanism_energy_nj(&self, budget: &HardwareBudget, stats: &MechanismStats) -> f64 {
+        if budget.tables.is_empty() {
+            return 0.0;
+        }
+        // Charge table activity to the largest table (conservative) and
+        // prefetch issue to a fixed request-queue cost.
+        let per_access = budget
+            .tables
+            .iter()
+            .map(|t| self.access_energy_nj(t))
+            .fold(0.0, f64::max);
+        let table_events = stats.table_reads + stats.table_writes;
+        let queue_energy = stats.prefetches_requested as f64 * self.base_nj;
+        table_events as f64 * per_access + queue_energy
+    }
+
+    /// Fig 5's metric: on-chip memory-system energy of the mechanism run
+    /// relative to the baseline run.
+    ///
+    /// Both runs must simulate the same instruction window (the paper's
+    /// fixed-trace methodology guarantees that).
+    pub fn power_ratio(
+        &self,
+        budget: &HardwareBudget,
+        l1d_cfg: &CacheConfig,
+        l2_cfg: &CacheConfig,
+        mech_run: &RunActivity,
+        base_run: &RunActivity,
+    ) -> f64 {
+        let base_energy = self.cache_energy_nj(l1d_cfg, &base_run.l1d)
+            + self.cache_energy_nj(l2_cfg, &base_run.l2);
+        if base_energy <= 0.0 {
+            return 1.0;
+        }
+        let mech_energy = self.cache_energy_nj(l1d_cfg, &mech_run.l1d)
+            + self.cache_energy_nj(l2_cfg, &mech_run.l2)
+            + self.mechanism_energy_nj(budget, &mech_run.mechanism);
+        mech_energy / base_energy
+    }
+}
+
+/// Convenience bundle: both models with default calibration.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CostModels {
+    /// The CACTI-like area model.
+    pub area: AreaModel,
+    /// The XCACTI-like energy model.
+    pub energy: EnergyModel,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(accesses: u64) -> CacheStats {
+        CacheStats {
+            loads: accesses,
+            ..CacheStats::default()
+        }
+    }
+
+    #[test]
+    fn bigger_tables_cost_more_energy() {
+        let m = EnergyModel::default();
+        let markov = SramTable::new("markov", 32_768, 256, 1);
+        let sp = SramTable::new("sp", 512, 70, 1);
+        assert!(m.access_energy_nj(&markov) > 3.0 * m.access_energy_nj(&sp));
+    }
+
+    #[test]
+    fn no_mechanism_means_ratio_one() {
+        let m = EnergyModel::default();
+        let l1 = CacheConfig::baseline_l1d();
+        let l2 = CacheConfig::baseline_l2();
+        let run = RunActivity {
+            l1d: stats(1000),
+            l2: stats(100),
+            mechanism: MechanismStats::default(),
+        };
+        let ratio = m.power_ratio(&HardwareBudget::none("Base"), &l1, &l2, &run, &run);
+        assert!((ratio - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activity_drives_power_even_with_small_tables() {
+        // The GHB effect: a tiny table scanned very often can cost more
+        // than a big table touched rarely.
+        let m = EnergyModel::default();
+        let small = HardwareBudget::with_tables("GHB", vec![SramTable::new("ghb", 256, 40, 1)]);
+        let busy = MechanismStats {
+            table_reads: 1_000_000,
+            ..MechanismStats::default()
+        };
+        let big = HardwareBudget::with_tables("Markov", vec![SramTable::new("t", 32_768, 256, 1)]);
+        let quiet = MechanismStats {
+            table_reads: 10_000,
+            ..MechanismStats::default()
+        };
+        assert!(m.mechanism_energy_nj(&small, &busy) > m.mechanism_energy_nj(&big, &quiet));
+    }
+
+    #[test]
+    fn extra_cache_activity_raises_the_ratio() {
+        let m = EnergyModel::default();
+        let l1 = CacheConfig::baseline_l1d();
+        let l2 = CacheConfig::baseline_l2();
+        let base = RunActivity {
+            l1d: stats(10_000),
+            l2: stats(1_000),
+            mechanism: MechanismStats::default(),
+        };
+        let mut mech = base;
+        mech.l2.prefetch_fills = 5_000; // prefetcher traffic
+        let ratio = m.power_ratio(&HardwareBudget::none("TP"), &l1, &l2, &mech, &base);
+        assert!(ratio > 1.0);
+    }
+}

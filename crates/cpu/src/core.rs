@@ -1,0 +1,641 @@
+//! The out-of-order superscalar core: an RUU/LSQ machine in the
+//! sim-outorder mould, driven by dependency-explicit traces.
+//!
+//! Per cycle (in order): apply memory completions → writeback → commit →
+//! issue → dispatch → fetch. The core is trace-driven: wrong-path execution
+//! is not simulated; a mispredicted branch instead blocks fetch until it
+//! resolves and then pays the front-end refill penalty — the standard
+//! trace-driven approximation, which preserves the property the paper's
+//! experiments rely on (IPC sensitivity to memory latency and bandwidth).
+
+use crate::fu::{latency, FuPool};
+use microlib_mem::{Completion, IssueRejection, IssueResult, MemorySystem, ReqId};
+use microlib_model::{Addr, CoreConfig, Cycle};
+use microlib_trace::{OpClass, TraceInst};
+use std::collections::{HashMap, VecDeque};
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SlotState {
+    /// Waiting for operands / a functional unit / the cache.
+    Waiting,
+    /// Executing; completes at the cycle carried.
+    Executing(Cycle),
+    /// Load waiting on a memory response.
+    WaitingMem,
+    /// Finished executing (result available to dependents).
+    Completed(Cycle),
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    inst: TraceInst,
+    seq: u64,
+    state: SlotState,
+    /// For stores: the commit-time cache write has been accepted.
+    store_sent: bool,
+}
+
+impl Slot {
+    fn completed(&self) -> bool {
+        matches!(self.state, SlotState::Completed(_))
+    }
+}
+
+/// Aggregate counters for one simulation run of the core.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CoreStats {
+    /// Instructions committed.
+    pub committed: u64,
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Instructions fetched.
+    pub fetched: u64,
+    /// Cycles fetch was blocked on an unresolved mispredicted branch.
+    pub mispredict_stall_cycles: u64,
+    /// Cycles fetch was blocked on an instruction-cache miss.
+    pub icache_stall_cycles: u64,
+    /// Loads satisfied by store-to-load forwarding in the LSQ.
+    pub loads_forwarded: u64,
+    /// Issue attempts refused by the cache (ports/MSHR/pipeline).
+    pub cache_reject_stalls: u64,
+    /// Cycles dispatch stalled because the RUU was full.
+    pub window_full_stalls: u64,
+    /// Cycles dispatch stalled because the LSQ was full.
+    pub lsq_full_stalls: u64,
+    /// Cycles commit stalled because a store could not reach the cache.
+    pub store_commit_stalls: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.committed as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// The out-of-order core.
+///
+/// Drive it with [`OoOCore::cycle`] once per cycle, passing the memory
+/// system (already advanced via
+/// [`MemorySystem::begin_cycle`]) and the trace source. See
+/// `microlib::Simulator` for the canonical driver loop.
+#[derive(Debug)]
+pub struct OoOCore {
+    config: CoreConfig,
+    window: VecDeque<Slot>,
+    lsq_used: u32,
+    next_seq: u64,
+    fetch_buffer: VecDeque<TraceInst>,
+    fetch_blocked_until: Cycle,
+    blocking_branch: Option<u64>,
+    ifetch_pending: Option<ReqId>,
+    last_fetch_line: Option<Addr>,
+    mem_requests: HashMap<ReqId, u64>,
+    fus: FuPool,
+    stats: CoreStats,
+    trace_done: bool,
+}
+
+impl OoOCore {
+    /// Creates a core with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation.
+    pub fn new(config: CoreConfig) -> Self {
+        config.validate().expect("invalid core configuration");
+        OoOCore {
+            fus: FuPool::new(&config),
+            config,
+            window: VecDeque::new(),
+            lsq_used: 0,
+            next_seq: 0,
+            fetch_buffer: VecDeque::new(),
+            fetch_blocked_until: Cycle::ZERO,
+            blocking_branch: None,
+            ifetch_pending: None,
+            last_fetch_line: None,
+            mem_requests: HashMap::new(),
+            stats: CoreStats::default(),
+            trace_done: false,
+        }
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> CoreStats {
+        self.stats
+    }
+
+    /// Whether every fetched instruction has committed and the trace is
+    /// exhausted.
+    pub fn drained(&self) -> bool {
+        self.trace_done && self.window.is_empty() && self.fetch_buffer.is_empty()
+    }
+
+    fn seq_base(&self) -> u64 {
+        self.window.front().map(|s| s.seq).unwrap_or(self.next_seq)
+    }
+
+    fn producer_ready(&self, consumer_seq: u64, distance: u32) -> bool {
+        let Some(producer_seq) = consumer_seq.checked_sub(distance as u64) else {
+            return true;
+        };
+        let base = self.seq_base();
+        if producer_seq < base {
+            return true; // producer already committed
+        }
+        self.window
+            .get((producer_seq - base) as usize)
+            .map(|s| s.completed())
+            .unwrap_or(true)
+    }
+
+    fn deps_ready(&self, slot_idx: usize) -> bool {
+        let slot = &self.window[slot_idx];
+        slot.inst
+            .src_deps
+            .iter()
+            .flatten()
+            .all(|d| self.producer_ready(slot.seq, *d))
+    }
+
+    /// Index of the youngest older store overlapping `addr`'s word, if any.
+    fn older_store_conflict(&self, load_idx: usize, addr: Addr) -> Option<usize> {
+        let word = addr.word_index();
+        (0..load_idx)
+            .rev()
+            .find(|&i| {
+                let s = &self.window[i];
+                s.inst.op == OpClass::Store
+                    && s.inst
+                        .mem
+                        .map(|m| m.addr.word_index() == word)
+                        .unwrap_or(false)
+            })
+    }
+
+    /// Runs one cycle. `completions` are this cycle's memory completions
+    /// (from [`MemorySystem::begin_cycle`]); `trace` supplies instructions.
+    /// Returns the number of instructions committed this cycle.
+    pub fn cycle(
+        &mut self,
+        now: Cycle,
+        completions: &[Completion],
+        mem: &mut MemorySystem,
+        trace: &mut dyn Iterator<Item = TraceInst>,
+    ) -> u64 {
+        self.stats.cycles += 1;
+        self.fus.begin_cycle();
+
+        self.apply_completions(now, completions);
+        self.writeback(now);
+        let committed = self.commit(now, mem);
+        self.issue(now, mem);
+        self.dispatch();
+        self.fetch(now, mem, trace);
+        committed
+    }
+
+    fn apply_completions(&mut self, now: Cycle, completions: &[Completion]) {
+        for c in completions {
+            let Some(seq) = self.mem_requests.remove(&c.req) else {
+                continue; // retired store's write, or i-fetch handled below
+            };
+            let base = self.seq_base();
+            if seq < base {
+                continue;
+            }
+            if let Some(slot) = self.window.get_mut((seq - base) as usize) {
+                if slot.state == SlotState::WaitingMem {
+                    slot.state = SlotState::Completed(now);
+                }
+            }
+        }
+        if let Some(pending) = self.ifetch_pending {
+            if completions.iter().any(|c| c.req == pending) {
+                self.ifetch_pending = None;
+            }
+        }
+    }
+
+    fn writeback(&mut self, now: Cycle) {
+        let mut resolved_mispredict = None;
+        for slot in &mut self.window {
+            if let SlotState::Executing(done) = slot.state {
+                if done <= now {
+                    slot.state = SlotState::Completed(now);
+                    if Some(slot.seq) == self.blocking_branch {
+                        resolved_mispredict = Some(now);
+                    }
+                }
+            }
+        }
+        if let Some(at) = resolved_mispredict {
+            self.blocking_branch = None;
+            self.fetch_blocked_until = at + self.config.mispredict_penalty;
+        }
+    }
+
+    fn commit(&mut self, now: Cycle, mem: &mut MemorySystem) -> u64 {
+        let mut committed = 0;
+        while committed < self.config.commit_width as u64 {
+            let Some(head) = self.window.front() else { break };
+            if !head.completed() {
+                break;
+            }
+            if head.inst.op == OpClass::Store && !head.store_sent {
+                let m = head.inst.mem.expect("store has memory ref");
+                match mem.try_store(head.inst.pc, m.addr, m.value, now) {
+                    Ok(IssueResult::Done { .. }) => {}
+                    Ok(IssueResult::Pending(_)) => {
+                        // Retired into the "store buffer": the MSHR owns it.
+                    }
+                    Err(_) => {
+                        self.stats.store_commit_stalls += 1;
+                        break;
+                    }
+                }
+            }
+            let head = self.window.pop_front().expect("checked above");
+            if head.inst.op.is_mem() {
+                self.lsq_used -= 1;
+            }
+            self.stats.committed += 1;
+            committed += 1;
+        }
+        committed
+    }
+
+    fn issue(&mut self, now: Cycle, mem: &mut MemorySystem) {
+        let mut issued = 0;
+        let mut mem_path_blocked = false;
+        let lsq_backpressure = mem.config().fidelity.lsq_backpressure;
+        for idx in 0..self.window.len() {
+            if issued >= self.config.issue_width {
+                break;
+            }
+            if self.window[idx].state != SlotState::Waiting {
+                continue;
+            }
+            if !self.deps_ready(idx) {
+                continue;
+            }
+            let op = self.window[idx].inst.op;
+            match op {
+                OpClass::Load => {
+                    if mem_path_blocked {
+                        continue;
+                    }
+                    let m = self.window[idx].inst.mem.expect("load has memory ref");
+                    // LSQ disambiguation: forward from (or wait on) the
+                    // youngest older overlapping store.
+                    if let Some(st) = self.older_store_conflict(idx, m.addr) {
+                        if self.window[st].completed() {
+                            if self.fus.try_issue(OpClass::Load, now) {
+                                self.window[idx].state = SlotState::Executing(now + 1);
+                                self.stats.loads_forwarded += 1;
+                                issued += 1;
+                            }
+                        }
+                        continue; // store not executed yet: wait
+                    }
+                    if !self.fus.try_issue(OpClass::Load, now) {
+                        continue;
+                    }
+                    let pc = self.window[idx].inst.pc;
+                    match mem.try_load(pc, m.addr, now) {
+                        Ok(IssueResult::Done { at, .. }) => {
+                            self.window[idx].state = SlotState::Executing(at);
+                            issued += 1;
+                        }
+                        Ok(IssueResult::Pending(req)) => {
+                            self.window[idx].state = SlotState::WaitingMem;
+                            self.mem_requests.insert(req, self.window[idx].seq);
+                            issued += 1;
+                        }
+                        Err(reason) => {
+                            self.stats.cache_reject_stalls += 1;
+                            if lsq_backpressure
+                                || matches!(reason, IssueRejection::PortBusy)
+                            {
+                                mem_path_blocked = true;
+                            }
+                        }
+                    }
+                }
+                OpClass::Store => {
+                    // Address generation only; the cache write happens at
+                    // commit.
+                    if self.fus.try_issue(OpClass::Store, now) {
+                        self.window[idx].state = SlotState::Executing(now + latency(op));
+                        issued += 1;
+                    }
+                }
+                _ => {
+                    if self.fus.try_issue(op, now) {
+                        self.window[idx].state = SlotState::Executing(now + latency(op));
+                        issued += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn dispatch(&mut self) {
+        for _ in 0..self.config.decode_width {
+            if self.window.len() >= self.config.ruu_entries as usize {
+                self.stats.window_full_stalls += 1;
+                break;
+            }
+            let Some(inst) = self.fetch_buffer.front() else { break };
+            if inst.op.is_mem() {
+                if self.lsq_used >= self.config.lsq_entries {
+                    self.stats.lsq_full_stalls += 1;
+                    break;
+                }
+                self.lsq_used += 1;
+            }
+            let inst = self.fetch_buffer.pop_front().expect("peeked");
+            self.window.push_back(Slot {
+                inst,
+                seq: self.next_seq,
+                state: SlotState::Waiting,
+                store_sent: false,
+            });
+            self.next_seq += 1;
+        }
+    }
+
+    fn fetch(&mut self, now: Cycle, mem: &mut MemorySystem, trace: &mut dyn Iterator<Item = TraceInst>) {
+        if self.trace_done {
+            return;
+        }
+        if self.blocking_branch.is_some() || self.fetch_blocked_until > now {
+            self.stats.mispredict_stall_cycles += 1;
+            return;
+        }
+        if self.ifetch_pending.is_some() {
+            self.stats.icache_stall_cycles += 1;
+            return;
+        }
+        // Keep the fetch buffer at most one fetch-group deep.
+        if self.fetch_buffer.len() >= self.config.fetch_width as usize {
+            return;
+        }
+        for _ in 0..self.config.fetch_width {
+            let Some(inst) = trace.next() else {
+                self.trace_done = true;
+                break;
+            };
+            // Instruction-cache access, one new line per port per cycle.
+            let line = inst.pc.line(mem.config().l1i.line_bytes);
+            if Some(line) != self.last_fetch_line {
+                match mem.try_ifetch(inst.pc, now) {
+                    Ok(IssueResult::Done { .. }) => {
+                        self.last_fetch_line = Some(line);
+                    }
+                    Ok(IssueResult::Pending(req)) => {
+                        self.ifetch_pending = Some(req);
+                        self.last_fetch_line = Some(line);
+                        self.stats.fetched += 1;
+                        self.push_fetched(inst);
+                        break; // stall until the I-miss returns
+                    }
+                    Err(_) => {
+                        // Port exhausted: put the instruction back by
+                        // re-fetching it next cycle. Since the stream cannot
+                        // be "un-advanced", buffer it and stop.
+                        self.stats.fetched += 1;
+                        self.push_fetched(inst);
+                        break;
+                    }
+                }
+            }
+            self.stats.fetched += 1;
+            let stop = self.push_fetched(inst);
+            if stop {
+                break;
+            }
+        }
+    }
+
+    /// Buffers a fetched instruction; returns `true` if fetch must stop
+    /// this cycle (taken branch or mispredict).
+    fn push_fetched(&mut self, inst: TraceInst) -> bool {
+        let mut stop = false;
+        if let Some(b) = inst.branch {
+            if b.mispredicted {
+                // Fetch stops until this branch resolves. Identify it by
+                // the sequence number it will get.
+                self.blocking_branch = Some(self.next_seq + self.fetch_buffer.len() as u64);
+                stop = true;
+            } else if b.taken {
+                stop = true; // fetch discontinuity
+            }
+        }
+        self.fetch_buffer.push_back(inst);
+        stop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microlib_model::SystemConfig;
+    use microlib_trace::{BranchInfo, TraceInst};
+
+    fn mem() -> MemorySystem {
+        MemorySystem::new(SystemConfig::baseline_constant_memory(), Vec::new()).unwrap()
+    }
+
+    /// Pre-warms the I-line of the first instruction (so tests exercise
+    /// scheduling, not cold-start I-misses), then drives the core to
+    /// drain. Returns the core-loop cycle count (excluding the warmup).
+    fn run(core: &mut OoOCore, mem: &mut MemorySystem, insts: Vec<TraceInst>, max_cycles: u64) -> u64 {
+        let mut start = 0u64;
+        if let Some(first) = insts.first() {
+            mem.begin_cycle(Cycle::ZERO);
+            if let Ok(IssueResult::Pending(id)) = mem.try_ifetch(first.pc, Cycle::ZERO) {
+                loop {
+                    start += 1;
+                    let dones = mem.begin_cycle(Cycle::new(start));
+                    if dones.iter().any(|c| c.req == id) {
+                        break;
+                    }
+                    assert!(start < 10_000, "warmup ifetch never completed");
+                }
+            }
+            start += 1;
+        }
+        let mut trace = insts.into_iter();
+        let mut used = 0;
+        for c in 0..max_cycles {
+            used = c;
+            let now = Cycle::new(start + c);
+            let completions = mem.begin_cycle(now);
+            core.cycle(now, &completions, mem, &mut trace);
+            if core.drained() {
+                break;
+            }
+        }
+        assert!(core.drained(), "core did not drain: {:?}", core.stats());
+        used
+    }
+
+    /// ALU instructions whose PCs loop within a small code footprint (as
+    /// real loops do), so the I-cache warms up instead of streaming cold.
+    fn alu_chain(n: usize, dep: bool) -> Vec<TraceInst> {
+        (0..n)
+            .map(|i| {
+                TraceInst::alu(
+                    Addr::new(0x40_0000 + (i as u64 % 64) * 4),
+                    OpClass::IntAlu,
+                    [if dep && i > 0 { Some(1) } else { None }, None],
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn independent_alus_reach_high_ipc() {
+        let mut core = OoOCore::new(CoreConfig::baseline());
+        let mut m = mem();
+        run(&mut core, &mut m, alu_chain(4000, false), 20_000);
+        let ipc = core.stats().ipc();
+        assert!(ipc > 4.0, "independent ALU IPC {ipc} too low");
+    }
+
+    #[test]
+    fn dependent_chain_serializes() {
+        let mut core = OoOCore::new(CoreConfig::baseline());
+        let mut m = mem();
+        run(&mut core, &mut m, alu_chain(2000, true), 20_000);
+        let ipc = core.stats().ipc();
+        assert!(ipc < 1.2, "serial chain IPC {ipc} should be ~1");
+    }
+
+    #[test]
+    fn committed_matches_trace_length() {
+        let mut core = OoOCore::new(CoreConfig::baseline());
+        let mut m = mem();
+        run(&mut core, &mut m, alu_chain(777, false), 20_000);
+        assert_eq!(core.stats().committed, 777);
+    }
+
+    #[test]
+    fn load_latency_gates_dependents() {
+        // load (miss) -> dependent ALU chain: cycles must include the miss
+        // round trip.
+        let mut insts = vec![TraceInst::load(
+            Addr::new(0x40_0000),
+            Addr::new(0x10_0000),
+            [None, None],
+        )];
+        for i in 0..10 {
+            insts.push(TraceInst::alu(
+                Addr::new(0x40_0004 + i * 4),
+                OpClass::IntAlu,
+                [Some(1), None],
+            ));
+        }
+        let mut core = OoOCore::new(CoreConfig::baseline());
+        let mut m = mem();
+        let cycles = run(&mut core, &mut m, insts, 20_000);
+        assert!(cycles > 70, "miss latency not observed: {cycles} cycles");
+    }
+
+    #[test]
+    fn store_to_load_forwarding() {
+        let pc = |i: u64| Addr::new(0x40_0000 + i * 4);
+        let a = Addr::new(0x20_0000);
+        // The divide blocks commit, so the store is executed-but-uncommitted
+        // when the load issues — the LSQ must forward.
+        let insts = vec![
+            TraceInst::alu(pc(0), OpClass::IntDiv, [None, None]),
+            TraceInst::store(pc(1), a, 99, [None, None]),
+            TraceInst::load(pc(2), a, [None, None]),
+        ];
+        let mut core = OoOCore::new(CoreConfig::baseline());
+        let mut m = mem();
+        run(&mut core, &mut m, insts, 20_000);
+        assert_eq!(core.stats().loads_forwarded, 1);
+        assert!(m.integrity_error().is_none());
+    }
+
+    #[test]
+    fn load_after_committed_store_reads_through_cache() {
+        let pc = |i: u64| Addr::new(0x40_0000 + i * 4);
+        let a = Addr::new(0x20_0000);
+        let insts = vec![
+            TraceInst::store(pc(0), a, 99, [None, None]),
+            TraceInst::load(pc(1), a, [None, None]),
+        ];
+        let mut core = OoOCore::new(CoreConfig::baseline());
+        let mut m = mem();
+        run(&mut core, &mut m, insts, 20_000);
+        // Commit applies the store before the load issues; either path
+        // (forward or cache) must preserve the value.
+        assert!(m.integrity_error().is_none());
+        assert_eq!(m.functional().architectural(a), 99);
+    }
+
+    #[test]
+    fn mispredicted_branch_stalls_fetch() {
+        let pc = |i: u64| Addr::new(0x40_0000 + i * 4);
+        let mut with_miss = vec![TraceInst::branch(
+            pc(0),
+            BranchInfo {
+                taken: true,
+                target: pc(1),
+                mispredicted: true,
+            },
+            [None, None],
+        )];
+        with_miss.extend(alu_chain(500, false));
+        let mut core = OoOCore::new(CoreConfig::baseline());
+        let mut m = mem();
+        run(&mut core, &mut m, with_miss, 20_000);
+        assert!(core.stats().mispredict_stall_cycles >= 1);
+    }
+
+    #[test]
+    fn lsq_capacity_limits_memory_ops() {
+        let mut cfg = CoreConfig::baseline();
+        cfg.lsq_entries = 2;
+        let insts: Vec<_> = (0..50)
+            .map(|i| {
+                TraceInst::load(
+                    Addr::new(0x40_0000 + i * 4),
+                    Addr::new(0x30_0000 + i * 0x1000),
+                    [None, None],
+                )
+            })
+            .collect();
+        let mut core = OoOCore::new(cfg);
+        let mut m = mem();
+        run(&mut core, &mut m, insts, 100_000);
+        assert!(core.stats().lsq_full_stalls > 0);
+    }
+
+    #[test]
+    fn stores_commit_and_land_in_memory() {
+        let a = Addr::new(0x28_0000);
+        let insts = vec![TraceInst::store(Addr::new(0x40_0000), a, 0xCAFE, [None, None])];
+        let mut core = OoOCore::new(CoreConfig::baseline());
+        let mut m = mem();
+        run(&mut core, &mut m, insts, 20_000);
+        assert_eq!(m.functional().architectural(a), 0xCAFE);
+        // Let in-flight writes drain.
+        for c in 0..500u64 {
+            m.begin_cycle(Cycle::new(100 + c));
+            if m.quiescent() {
+                break;
+            }
+        }
+        assert!(m.quiescent());
+    }
+}

@@ -1,0 +1,44 @@
+//! # microlib-cpu
+//!
+//! The out-of-order superscalar processor model of the MicroLib
+//! reproduction — an RUU/LSQ core in the SimpleScalar `sim-outorder` mould
+//! (Table 1: 128-entry RUU, 128-entry LSQ, 8-wide front end, the paper's
+//! functional-unit mix), driven by the dependency-explicit traces of
+//! [`microlib-trace`](microlib_trace).
+//!
+//! The core exists to give the cache mechanisms a realistic consumer:
+//! latency tolerance up to the window size, bandwidth sensitivity through
+//! the LSQ and MSHR backpressure, and fetch stalls through the L1I — the
+//! properties every experiment in the paper measures through IPC.
+//!
+//! # Examples
+//!
+//! ```
+//! use microlib_cpu::OoOCore;
+//! use microlib_mem::MemorySystem;
+//! use microlib_model::{CoreConfig, Cycle, SystemConfig};
+//! use microlib_trace::{benchmarks, Workload};
+//!
+//! let mut core = OoOCore::new(CoreConfig::baseline());
+//! let mut mem = MemorySystem::new(SystemConfig::baseline_constant_memory(), Vec::new())?;
+//! let workload = Workload::new(benchmarks::by_name("swim").unwrap(), 1);
+//! workload.initialize(mem.functional_mut());
+//!
+//! let mut trace = workload.stream().take(2_000);
+//! let mut now = Cycle::ZERO;
+//! while !core.drained() {
+//!     let completions = mem.begin_cycle(now);
+//!     core.cycle(now, &completions, &mut mem, &mut trace);
+//!     now += 1;
+//! }
+//! assert_eq!(core.stats().committed, 2_000);
+//! # Ok::<(), microlib_model::ConfigError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod core;
+mod fu;
+
+pub use crate::core::{CoreStats, OoOCore};
+pub use fu::{latency, FuPool};

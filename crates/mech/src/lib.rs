@@ -1,0 +1,66 @@
+//! # microlib-mech
+//!
+//! The thirteen data-cache mechanism configurations of *MicroLib: A Case
+//! for the Quantitative Comparison of Micro-Architecture Mechanisms*
+//! (MICRO 2004), each implemented against the
+//! [`Mechanism`](microlib_model::Mechanism) trait with the parameters of
+//! the paper's Table 3 — plus the deliberately buggy "initial" DBCP
+//! variant used by the reverse-engineering study (Fig 3).
+//!
+//! | Acronym | Type | Attach |
+//! |---|---|---|
+//! | TP | [`TaggedPrefetcher`] | L2 |
+//! | VC | [`VictimCache`] | L1 |
+//! | SP | [`StridePrefetcher`] | L2 |
+//! | Markov | [`MarkovPrefetcher`] | L1 |
+//! | FVC | [`FrequentValueCache`] | L1 |
+//! | DBCP | [`DeadBlockPrefetcher`] | L1 |
+//! | TKVC | [`TimekeepingVictimCache`] | L1 |
+//! | TK | [`TimekeepingPrefetcher`] | L1 |
+//! | CDP | [`ContentDirectedPrefetcher`] | L2 |
+//! | CDPSP | [`CdpSp`] | L2 |
+//! | TCP | [`TagCorrelatingPrefetcher`] | L2 |
+//! | GHB | [`GlobalHistoryBuffer`] | L2 |
+//!
+//! # Examples
+//!
+//! ```
+//! use microlib_mech::MechanismKind;
+//!
+//! for kind in MechanismKind::study_set() {
+//!     let mech = kind.build();
+//!     println!("{:10} adds {:>9} bytes of state", mech.name(), mech.hardware().total_bytes());
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+mod cdp;
+mod cdpsp;
+mod dbcp;
+mod fvc;
+mod ghb;
+mod markov;
+mod registry;
+mod sp;
+mod table;
+mod tcp;
+mod tk;
+mod tkvc;
+mod tp;
+mod vc;
+
+pub use cdp::ContentDirectedPrefetcher;
+pub use cdpsp::CdpSp;
+pub use dbcp::{DbcpVariant, DeadBlockPrefetcher};
+pub use fvc::{FrequentValueCache, DEFAULT_FREQUENT_VALUES};
+pub use ghb::GlobalHistoryBuffer;
+pub use markov::MarkovPrefetcher;
+pub use registry::{CatalogEntry, MechanismKind};
+pub use sp::StridePrefetcher;
+pub use table::AssocTable;
+pub use tcp::TagCorrelatingPrefetcher;
+pub use tk::{TimekeepingPrefetcher, DEATH_THRESHOLD, REFRESH_INTERVAL};
+pub use tkvc::{TimekeepingVictimCache, REUSE_THRESHOLD};
+pub use tp::TaggedPrefetcher;
+pub use vc::VictimCache;

@@ -1,0 +1,245 @@
+//! A small set-associative, LRU-managed lookup table — the building block
+//! of almost every mechanism's hardware state (prediction tables, history
+//! tables, victim buffers).
+
+/// A set-associative table mapping `u64` keys to payloads of type `V`,
+/// with per-set LRU replacement.
+///
+/// `ways == 0` means fully associative (a single set).
+///
+/// # Examples
+///
+/// ```
+/// use microlib_mech::AssocTable;
+///
+/// let mut t: AssocTable<u32> = AssocTable::new(4, 2);
+/// t.insert(1, 10);
+/// t.insert(2, 20);
+/// assert_eq!(t.get(&1), Some(&10));
+/// assert_eq!(t.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct AssocTable<V> {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Option<Slot<V>>>,
+    clock: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Slot<V> {
+    key: u64,
+    value: V,
+    lru: u64,
+}
+
+impl<V> AssocTable<V> {
+    /// Creates a table of `sets` sets × `ways` ways (`ways == 0` collapses
+    /// to one fully associative set of `sets` entries).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is zero or not a power of two.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        let (sets, ways) = if ways == 0 { (1, sets) } else { (sets, ways) };
+        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(ways > 0, "ways must be positive");
+        AssocTable {
+            sets,
+            ways,
+            slots: (0..sets * ways).map(|_| None).collect(),
+            clock: 0,
+        }
+    }
+
+    /// Total capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Number of occupied entries.
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|s| s.is_none())
+    }
+
+    #[inline]
+    fn set_of(&self, key: u64) -> usize {
+        // Multiplicative hash spreads structured keys (line addresses).
+        ((key.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.sets - 1)
+    }
+
+    fn range(&self, set: usize) -> std::ops::Range<usize> {
+        set * self.ways..(set + 1) * self.ways
+    }
+
+    /// Looks up `key`, refreshing its LRU position.
+    pub fn get(&mut self, key: &u64) -> Option<&V> {
+        self.get_mut(key).map(|v| &*v)
+    }
+
+    /// Mutable lookup, refreshing LRU.
+    pub fn get_mut(&mut self, key: &u64) -> Option<&mut V> {
+        let set = self.set_of(*key);
+        let range = self.range(set);
+        self.clock += 1;
+        let clock = self.clock;
+        self.slots[range]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.key == *key)
+            .map(|s| {
+                s.lru = clock;
+                &mut s.value
+            })
+    }
+
+    /// Lookup without touching replacement state.
+    pub fn peek(&self, key: &u64) -> Option<&V> {
+        let set = self.set_of(*key);
+        self.slots[self.range(set)]
+            .iter()
+            .flatten()
+            .find(|s| s.key == *key)
+            .map(|s| &s.value)
+    }
+
+    /// Inserts (or replaces) `key`; returns the evicted (key, value) if a
+    /// valid entry was displaced.
+    pub fn insert(&mut self, key: u64, value: V) -> Option<(u64, V)> {
+        let set = self.set_of(key);
+        self.clock += 1;
+        let clock = self.clock;
+        let range = self.range(set);
+        // Existing entry: replace in place.
+        if let Some(slot) = self.slots[range.clone()]
+            .iter_mut()
+            .flatten()
+            .find(|s| s.key == key)
+        {
+            slot.lru = clock;
+            let old = std::mem::replace(&mut slot.value, value);
+            return Some((key, old));
+        }
+        // Free slot.
+        if let Some(slot) = self.slots[range.clone()].iter_mut().find(|s| s.is_none()) {
+            *slot = Some(Slot { key, value, lru: clock });
+            return None;
+        }
+        // Evict LRU.
+        let victim_idx = range
+            .clone()
+            .min_by_key(|i| self.slots[*i].as_ref().map(|s| s.lru).unwrap_or(0))
+            .expect("nonempty range");
+        let old = self.slots[victim_idx].take().map(|s| (s.key, s.value));
+        self.slots[victim_idx] = Some(Slot { key, value, lru: clock });
+        old
+    }
+
+    /// Removes `key`, returning its payload.
+    pub fn remove(&mut self, key: &u64) -> Option<V> {
+        let set = self.set_of(*key);
+        let range = self.range(set);
+        for i in range {
+            if self.slots[i].as_ref().map(|s| s.key == *key).unwrap_or(false) {
+                return self.slots[i].take().map(|s| s.value);
+            }
+        }
+        None
+    }
+
+    /// Whether `key` is present (no LRU update).
+    pub fn contains(&self, key: &u64) -> bool {
+        self.peek(key).is_some()
+    }
+
+    /// Clears all entries.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.clock = 0;
+    }
+
+    /// Iterates over (key, value) pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> {
+        self.slots.iter().flatten().map(|s| (s.key, &s.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_round_trip() {
+        let mut t: AssocTable<&str> = AssocTable::new(8, 2);
+        assert!(t.insert(5, "five").is_none());
+        assert_eq!(t.get(&5), Some(&"five"));
+        assert_eq!(t.peek(&6), None);
+        assert!(t.contains(&5));
+    }
+
+    #[test]
+    fn replace_returns_old_value() {
+        let mut t: AssocTable<u32> = AssocTable::new(4, 1);
+        t.insert(1, 10);
+        let old = t.insert(1, 11);
+        assert_eq!(old, Some((1, 10)));
+        assert_eq!(t.get(&1), Some(&11));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        // Fully associative with 2 entries.
+        let mut t: AssocTable<u32> = AssocTable::new(2, 0);
+        t.insert(1, 1);
+        t.insert(2, 2);
+        t.get(&1); // 2 is now LRU
+        let evicted = t.insert(3, 3);
+        assert_eq!(evicted, Some((2, 2)));
+        assert!(t.contains(&1) && t.contains(&3));
+    }
+
+    #[test]
+    fn remove_frees_slot() {
+        let mut t: AssocTable<u32> = AssocTable::new(1, 0);
+        t.insert(9, 99);
+        assert_eq!(t.remove(&9), Some(99));
+        assert!(t.is_empty());
+        assert_eq!(t.remove(&9), None);
+    }
+
+    #[test]
+    fn capacity_bounds_occupancy() {
+        let mut t: AssocTable<u64> = AssocTable::new(4, 2);
+        for k in 0..100 {
+            t.insert(k, k);
+        }
+        assert!(t.len() <= t.capacity());
+        assert_eq!(t.capacity(), 8);
+    }
+
+    #[test]
+    fn fully_associative_mode() {
+        let mut t: AssocTable<u64> = AssocTable::new(16, 0);
+        for k in 0..16 {
+            assert!(t.insert(k, k).is_none());
+        }
+        assert_eq!(t.len(), 16);
+        assert!(t.insert(99, 99).is_some(), "17th entry evicts");
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut t: AssocTable<u8> = AssocTable::new(2, 2);
+        t.insert(1, 1);
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

@@ -1,0 +1,487 @@
+//! The set-associative cache array: tags, data, dirty/prefetched bits and
+//! replacement state.
+//!
+//! This is a *storage* model only — timing (ports, MSHRs, pipeline hazards)
+//! lives in [`crate::hierarchy`]. Keeping storage and timing separate is
+//! what lets the same array back both the detailed MicroLib model and the
+//! SimpleScalar-like idealized model of Fig 1.
+
+use microlib_model::{Addr, CacheConfig, LineData, Replacement};
+
+/// Metadata + data for one cache line slot.
+#[derive(Clone, Debug)]
+pub struct LineState {
+    /// Tag (upper address bits).
+    tag: u64,
+    /// Whether the slot holds a line.
+    valid: bool,
+    /// Whether the line has been written since the fill.
+    dirty: bool,
+    /// Whether the line was brought in by a prefetch.
+    prefetched: bool,
+    /// Whether a demand access has touched the line since the fill.
+    touched: bool,
+    /// LRU timestamp (larger = more recent).
+    lru: u64,
+    /// FIFO sequence (set at fill time).
+    fifo: u64,
+    /// The line's data words.
+    data: LineData,
+}
+
+/// A line displaced by a fill or invalidation.
+#[derive(Clone, Debug)]
+pub struct Victim {
+    /// Line-aligned address of the displaced line.
+    pub line: Addr,
+    /// Whether it was dirty (needs writeback).
+    pub dirty: bool,
+    /// Its data.
+    pub data: LineData,
+    /// Whether it was a prefetched line never demand-touched.
+    pub untouched_prefetch: bool,
+}
+
+/// Result of a demand lookup that hit.
+#[derive(Clone, Copy, Debug)]
+pub struct HitInfo {
+    /// Whether the line had been prefetched and this is its first demand
+    /// touch (tagged prefetching's second trigger).
+    pub first_touch_of_prefetch: bool,
+}
+
+/// A set-associative cache array.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_mem::CacheArray;
+/// use microlib_model::{Addr, CacheConfig, LineData};
+///
+/// let mut l1 = CacheArray::new(CacheConfig::baseline_l1d()).unwrap();
+/// let line = Addr::new(0x1000);
+/// assert!(l1.lookup(line).is_none());
+/// l1.fill(line, LineData::zeroed(4), false, false);
+/// assert!(l1.lookup(line).is_some());
+/// ```
+#[derive(Clone, Debug)]
+pub struct CacheArray {
+    config: CacheConfig,
+    sets: Vec<Vec<LineState>>,
+    line_shift: u32,
+    set_mask: u64,
+    clock: u64,
+    rng_state: u64,
+}
+
+impl CacheArray {
+    /// Builds the array for `config`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying [`ConfigError`](microlib_model::ConfigError)
+    /// if `config` is inconsistent.
+    pub fn new(config: CacheConfig) -> Result<Self, microlib_model::ConfigError> {
+        config.validate()?;
+        let sets = config.sets() as usize;
+        let ways = config.ways() as usize;
+        let mut table = Vec::with_capacity(sets);
+        for _ in 0..sets {
+            let mut set = Vec::with_capacity(ways);
+            for _ in 0..ways {
+                set.push(LineState {
+                    tag: 0,
+                    valid: false,
+                    dirty: false,
+                    prefetched: false,
+                    touched: false,
+                    lru: 0,
+                    fifo: 0,
+                    data: LineData::zeroed((config.line_bytes / 8) as usize),
+                });
+            }
+            table.push(set);
+        }
+        Ok(CacheArray {
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (sets as u64) - 1,
+            config,
+            sets: table,
+            clock: 0,
+            rng_state: 0x9E37_79B9_7F4A_7C15,
+        })
+    }
+
+    /// The array's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.config.line_bytes
+    }
+
+    /// Decomposes a byte address into (set, tag).
+    #[inline]
+    pub fn index_of(&self, addr: Addr) -> (usize, u64) {
+        let line = addr.raw() >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+    }
+
+    /// Reconstructs the line-aligned address for (set, tag).
+    #[inline]
+    pub fn address_of(&self, set: usize, tag: u64) -> Addr {
+        Addr::new(((tag << self.set_mask.count_ones()) | set as u64) << self.line_shift)
+    }
+
+    fn find(&self, addr: Addr) -> Option<(usize, usize)> {
+        let (set, tag) = self.index_of(addr);
+        self.sets[set]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+            .map(|way| (set, way))
+    }
+
+    /// Whether the line containing `addr` is present.
+    pub fn contains(&self, addr: Addr) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Demand lookup: on a hit, updates replacement/touch state and returns
+    /// hit metadata.
+    pub fn lookup(&mut self, addr: Addr) -> Option<HitInfo> {
+        let (set, way) = self.find(addr)?;
+        self.clock += 1;
+        let slot = &mut self.sets[set][way];
+        slot.lru = self.clock;
+        let first_touch = slot.prefetched && !slot.touched;
+        slot.touched = true;
+        Some(HitInfo {
+            first_touch_of_prefetch: first_touch,
+        })
+    }
+
+    /// Lookup without perturbing replacement or touch state (used by
+    /// prefetch filtering and assertions).
+    pub fn peek(&self, addr: Addr) -> bool {
+        self.find(addr).is_some()
+    }
+
+    /// Reads the data word at `addr` if the line is present.
+    pub fn read_word(&self, addr: Addr) -> Option<u64> {
+        let (set, way) = self.find(addr)?;
+        let offset = (addr.offset_in_line(self.config.line_bytes) >> 3) as usize;
+        Some(self.sets[set][way].data.word(offset))
+    }
+
+    /// Writes the data word at `addr` and sets the dirty bit; returns
+    /// `false` if the line is absent.
+    pub fn write_word(&mut self, addr: Addr, value: u64) -> bool {
+        let Some((set, way)) = self.find(addr) else {
+            return false;
+        };
+        let offset = (addr.offset_in_line(self.config.line_bytes) >> 3) as usize;
+        let slot = &mut self.sets[set][way];
+        slot.data.set_word(offset, value);
+        slot.dirty = true;
+        true
+    }
+
+    /// Returns a copy of the line's data if present.
+    pub fn read_line(&self, addr: Addr) -> Option<LineData> {
+        self.find(addr).map(|(set, way)| self.sets[set][way].data)
+    }
+
+    /// Marks the line containing `addr` dirty (writeback arriving from the
+    /// level above); returns `false` if absent.
+    pub fn mark_dirty(&mut self, addr: Addr) -> bool {
+        let Some((set, way)) = self.find(addr) else {
+            return false;
+        };
+        self.sets[set][way].dirty = true;
+        true
+    }
+
+    /// Overwrites the whole line's data (writeback payload from above);
+    /// the caller chooses whether this dirties the line.
+    pub fn write_line(&mut self, addr: Addr, offset_words: usize, words: &[u64], dirty: bool) -> bool {
+        let Some((set, way)) = self.find(addr) else {
+            return false;
+        };
+        let slot = &mut self.sets[set][way];
+        for (i, w) in words.iter().enumerate() {
+            slot.data.set_word(offset_words + i, *w);
+        }
+        if dirty {
+            slot.dirty = true;
+        }
+        true
+    }
+
+    fn choose_victim(&mut self, set: usize) -> usize {
+        if let Some(way) = self.sets[set].iter().position(|w| !w.valid) {
+            return way;
+        }
+        match self.config.replacement {
+            Replacement::Lru => self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.lru)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            Replacement::Fifo => self.sets[set]
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, w)| w.fifo)
+                .map(|(i, _)| i)
+                .unwrap_or(0),
+            Replacement::Random => {
+                // xorshift64*
+                self.rng_state ^= self.rng_state >> 12;
+                self.rng_state ^= self.rng_state << 25;
+                self.rng_state ^= self.rng_state >> 27;
+                (self.rng_state.wrapping_mul(0x2545_F491_4F6C_DD1D) % self.sets[set].len() as u64)
+                    as usize
+            }
+        }
+    }
+
+    /// Installs a line, returning the displaced victim if a valid line had
+    /// to be evicted.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the line is already present — the
+    /// hierarchy must never double-fill.
+    pub fn fill(&mut self, addr: Addr, data: LineData, dirty: bool, prefetched: bool) -> Option<Victim> {
+        debug_assert!(
+            !self.contains(addr),
+            "double fill of line {:#x} in {}",
+            addr.raw(),
+            self.config.name
+        );
+        let (set, tag) = self.index_of(addr);
+        let way = self.choose_victim(set);
+        self.clock += 1;
+        let slot = &mut self.sets[set][way];
+        let victim = if slot.valid {
+            Some(Victim {
+                line: Addr::new(((slot.tag << self.set_mask.count_ones()) | set as u64) << self.line_shift),
+                dirty: slot.dirty,
+                data: slot.data,
+                untouched_prefetch: slot.prefetched && !slot.touched,
+            })
+        } else {
+            None
+        };
+        *slot = LineState {
+            tag,
+            valid: true,
+            dirty,
+            prefetched,
+            touched: false,
+            lru: self.clock,
+            fifo: self.clock,
+            data,
+        };
+        victim
+    }
+
+    /// Removes the line containing `addr`, returning it as a victim.
+    pub fn invalidate(&mut self, addr: Addr) -> Option<Victim> {
+        let (set, way) = self.find(addr)?;
+        let slot = &mut self.sets[set][way];
+        slot.valid = false;
+        Some(Victim {
+            line: addr.line(self.config.line_bytes),
+            dirty: slot.dirty,
+            data: slot.data,
+            untouched_prefetch: slot.prefetched && !slot.touched,
+        })
+    }
+
+    /// Whether the line containing `addr` is present and prefetched-untouched.
+    pub fn is_untouched_prefetch(&self, addr: Addr) -> bool {
+        self.find(addr)
+            .map(|(s, w)| {
+                let slot = &self.sets[s][w];
+                slot.prefetched && !slot.touched
+            })
+            .unwrap_or(false)
+    }
+
+    /// Number of valid lines currently held.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+
+    /// Iterates over the line-aligned addresses of all valid lines.
+    pub fn resident_lines(&self) -> impl Iterator<Item = Addr> + '_ {
+        let shift = self.set_mask.count_ones();
+        let line_shift = self.line_shift;
+        self.sets.iter().enumerate().flat_map(move |(set, ways)| {
+            ways.iter().filter(|w| w.valid).map(move |w| {
+                Addr::new(((w.tag << shift) | set as u64) << line_shift)
+            })
+        })
+    }
+
+    /// Invalidates everything and clears replacement state.
+    pub fn reset(&mut self) {
+        for set in &mut self.sets {
+            for way in set {
+                way.valid = false;
+                way.dirty = false;
+                way.prefetched = false;
+                way.touched = false;
+            }
+        }
+        self.clock = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(assoc: u32) -> CacheArray {
+        CacheArray::new(CacheConfig {
+            name: "tiny".into(),
+            size_bytes: 256,
+            assoc,
+            line_bytes: 32,
+            ports: 1,
+            mshr_entries: 1,
+            mshr_reads_per_entry: 1,
+            latency: 1,
+            write_policy: microlib_model::WritePolicy::Writeback,
+            alloc_policy: microlib_model::AllocPolicy::AllocateOnWrite,
+            replacement: Replacement::Lru,
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn index_round_trip() {
+        let c = CacheArray::new(CacheConfig::baseline_l1d()).unwrap();
+        for addr in [0u64, 0x1234, 0xFFFF_FFC0, 0xABCD_EF00] {
+            let a = Addr::new(addr);
+            let (set, tag) = c.index_of(a);
+            assert_eq!(c.address_of(set, tag), a.line(32));
+        }
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny(2);
+        let a = Addr::new(0x40);
+        assert!(c.lookup(a).is_none());
+        assert!(c.fill(a, LineData::zeroed(4), false, false).is_none());
+        assert!(c.lookup(a).is_some());
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = tiny(2); // 4 sets × 2 ways, 32B lines
+        // Three lines mapping to set 0: addresses 0, 128, 256 (set = (a>>5)&3).
+        let (a, b, d) = (Addr::new(0), Addr::new(128), Addr::new(256));
+        c.fill(a, LineData::zeroed(4), false, false);
+        c.fill(b, LineData::zeroed(4), false, false);
+        c.lookup(a); // a most recent; b is LRU
+        let victim = c.fill(d, LineData::zeroed(4), false, false).unwrap();
+        assert_eq!(victim.line, b);
+        assert!(c.contains(a) && c.contains(d) && !c.contains(b));
+    }
+
+    #[test]
+    fn fifo_ignores_recency() {
+        let mut c = tiny(2);
+        let mut cfg = c.config().clone();
+        cfg.replacement = Replacement::Fifo;
+        let mut c2 = CacheArray::new(cfg).unwrap();
+        let (a, b, d) = (Addr::new(0), Addr::new(128), Addr::new(256));
+        for x in [a, b] {
+            c2.fill(x, LineData::zeroed(4), false, false);
+        }
+        c2.lookup(a); // recency must not matter
+        let victim = c2.fill(d, LineData::zeroed(4), false, false).unwrap();
+        assert_eq!(victim.line, a);
+        drop(c);
+    }
+
+    #[test]
+    fn dirty_data_travels_with_victim() {
+        let mut c = tiny(1); // direct-mapped: 8 sets
+        let a = Addr::new(0x40);
+        c.fill(a, LineData::from_words(&[1, 2, 3, 4]), false, false);
+        assert!(c.write_word(Addr::new(0x48), 99));
+        let conflicting = Addr::new(0x40 + 256); // same set
+        let victim = c.fill(conflicting, LineData::zeroed(4), false, false).unwrap();
+        assert!(victim.dirty);
+        assert_eq!(victim.data.word(1), 99);
+        assert_eq!(victim.line, a);
+    }
+
+    #[test]
+    fn prefetch_touch_tracking() {
+        let mut c = tiny(2);
+        let a = Addr::new(0x40);
+        c.fill(a, LineData::zeroed(4), false, true);
+        assert!(c.is_untouched_prefetch(a));
+        let hit = c.lookup(a).unwrap();
+        assert!(hit.first_touch_of_prefetch);
+        assert!(!c.is_untouched_prefetch(a));
+        let hit2 = c.lookup(a).unwrap();
+        assert!(!hit2.first_touch_of_prefetch);
+    }
+
+    #[test]
+    fn invalidate_returns_victim() {
+        let mut c = tiny(2);
+        let a = Addr::new(0x60); // unaligned within line
+        c.fill(a, LineData::zeroed(4), true, false);
+        let v = c.invalidate(Addr::new(0x64)).unwrap();
+        assert_eq!(v.line, Addr::new(0x60));
+        assert!(v.dirty);
+        assert!(!c.contains(a));
+        assert!(c.invalidate(a).is_none());
+    }
+
+    #[test]
+    fn word_read_write() {
+        let mut c = tiny(2);
+        let base = Addr::new(0x80);
+        c.fill(base, LineData::from_words(&[10, 11, 12, 13]), false, false);
+        assert_eq!(c.read_word(Addr::new(0x88)), Some(11));
+        assert!(c.write_word(Addr::new(0x90), 77));
+        assert_eq!(c.read_word(Addr::new(0x90)), Some(77));
+        assert_eq!(c.read_word(Addr::new(0x200)), None);
+        assert!(!c.write_word(Addr::new(0x200), 1));
+    }
+
+    #[test]
+    fn resident_lines_enumerates() {
+        let mut c = tiny(2);
+        c.fill(Addr::new(0x40), LineData::zeroed(4), false, false);
+        c.fill(Addr::new(0x80), LineData::zeroed(4), false, false);
+        let mut lines: Vec<u64> = c.resident_lines().map(Addr::raw).collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec![0x40, 0x80]);
+    }
+
+    #[test]
+    fn random_replacement_stays_in_set() {
+        let mut cfg = CacheConfig::baseline_l1d();
+        cfg.assoc = 4;
+        cfg.replacement = Replacement::Random;
+        cfg.size_bytes = 512; // 4 sets × 4 ways
+        let mut c = CacheArray::new(cfg).unwrap();
+        // Fill set 0 beyond capacity; all fills map to set 0.
+        for i in 0..16u64 {
+            c.fill(Addr::new(i * 128), LineData::zeroed(4), false, false);
+        }
+        assert_eq!(c.occupancy(), 4);
+    }
+}

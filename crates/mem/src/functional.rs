@@ -1,0 +1,280 @@
+//! Sparse, value-carrying memories.
+//!
+//! The paper validates cache models by plugging them into OoOSysC, a
+//! processor model that "actually perform[s] all computations", so that "the
+//! cache not only contains the addresses but the actual values of the data".
+//! This module provides that capability: a [`SparseMemory`] is a sparse
+//! 64-bit-word store, and a [`FunctionalMemory`] keeps *two* of them —
+//!
+//! - the **architectural** image, updated the moment a store executes
+//!   (ground truth, what a correct machine would contain), and
+//! - the **DRAM** image, updated only by cache writebacks (what the
+//!   simulated memory chips contain).
+//!
+//! Cache fills read the DRAM image; an integrity checker compares every
+//! loaded value against the architectural image. A model bug such as a
+//! forgotten dirty bit (the paper's §2.2 anecdote) makes the two diverge and
+//! is caught immediately.
+
+use microlib_model::{Addr, LineData};
+use std::collections::HashMap;
+
+const PAGE_WORDS: usize = 512; // 4 KB pages
+const PAGE_SHIFT: u64 = 12;
+
+/// A sparse 64-bit-word memory over the full address space.
+///
+/// Unwritten words read as zero. Addresses are byte addresses; word accesses
+/// use the containing aligned 8-byte word.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_mem::SparseMemory;
+/// use microlib_model::Addr;
+///
+/// let mut mem = SparseMemory::new();
+/// mem.write_word(Addr::new(0x1000), 42);
+/// assert_eq!(mem.read_word(Addr::new(0x1000)), 42);
+/// assert_eq!(mem.read_word(Addr::new(0x2000)), 0);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct SparseMemory {
+    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+}
+
+impl SparseMemory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        SparseMemory {
+            pages: HashMap::new(),
+        }
+    }
+
+    #[inline]
+    fn split(addr: Addr) -> (u64, usize) {
+        let page = addr.raw() >> PAGE_SHIFT;
+        let word = ((addr.raw() >> 3) as usize) & (PAGE_WORDS - 1);
+        (page, word)
+    }
+
+    /// Reads the aligned 64-bit word containing `addr`.
+    pub fn read_word(&self, addr: Addr) -> u64 {
+        let (page, word) = Self::split(addr);
+        self.pages.get(&page).map_or(0, |p| p[word])
+    }
+
+    /// Writes the aligned 64-bit word containing `addr`.
+    pub fn write_word(&mut self, addr: Addr, value: u64) {
+        let (page, word) = Self::split(addr);
+        if value == 0 && !self.pages.contains_key(&page) {
+            return; // writing zero to an untouched page is a no-op
+        }
+        self.pages
+            .entry(page)
+            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[word] = value;
+    }
+
+    /// Reads a whole line of `line_bytes` starting at the line containing
+    /// `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line_bytes / 8` exceeds [`LineData::MAX_WORDS`].
+    pub fn read_line(&self, addr: Addr, line_bytes: u64) -> LineData {
+        let base = addr.line(line_bytes);
+        let words = (line_bytes / 8) as usize;
+        let mut line = LineData::zeroed(words);
+        for i in 0..words {
+            line.set_word(i, self.read_word(base.offset((i * 8) as i64)));
+        }
+        line
+    }
+
+    /// Writes a whole line at the line-aligned address containing `addr`.
+    pub fn write_line(&mut self, addr: Addr, data: &LineData) {
+        let base = addr.line(data.byte_len());
+        for (i, w) in data.words().iter().enumerate() {
+            self.write_word(base.offset((i * 8) as i64), *w);
+        }
+    }
+
+    /// Number of 4 KB pages materialized.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+/// The dual architectural/DRAM memory described in the module docs.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_mem::FunctionalMemory;
+/// use microlib_model::Addr;
+///
+/// let mut mem = FunctionalMemory::new();
+/// let a = Addr::new(0x100);
+/// mem.store_architectural(a, 7);      // the store executes
+/// assert_eq!(mem.architectural(a), 7);
+/// assert_eq!(mem.dram().read_word(a), 0); // not yet written back
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct FunctionalMemory {
+    arch: SparseMemory,
+    dram: SparseMemory,
+}
+
+impl FunctionalMemory {
+    /// Creates an empty functional memory.
+    pub fn new() -> Self {
+        FunctionalMemory::default()
+    }
+
+    /// Records a store's architectural effect (ground truth).
+    pub fn store_architectural(&mut self, addr: Addr, value: u64) {
+        self.arch.write_word(addr, value);
+    }
+
+    /// Reads the architectural (ground-truth) value at `addr`.
+    pub fn architectural(&self, addr: Addr) -> u64 {
+        self.arch.read_word(addr)
+    }
+
+    /// Initializes both images at once — used by workload generators to lay
+    /// out data structures (pointer chains, arrays) before simulation.
+    pub fn initialize_word(&mut self, addr: Addr, value: u64) {
+        self.arch.write_word(addr, value);
+        self.dram.write_word(addr, value);
+    }
+
+    /// The DRAM image (what fills read and writebacks write).
+    pub fn dram(&self) -> &SparseMemory {
+        &self.dram
+    }
+
+    /// Mutable access to the DRAM image.
+    pub fn dram_mut(&mut self) -> &mut SparseMemory {
+        &mut self.dram
+    }
+
+    /// Verifies that `observed` (a value produced by the cache hierarchy for
+    /// a load at `addr`) matches the architectural image.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IntegrityError`] describing the divergence.
+    pub fn check_load(&self, addr: Addr, observed: u64) -> Result<(), IntegrityError> {
+        let expected = self.arch.read_word(addr);
+        if expected == observed {
+            Ok(())
+        } else {
+            Err(IntegrityError {
+                addr,
+                expected,
+                observed,
+            })
+        }
+    }
+}
+
+/// A loaded value diverged from the architectural memory image — the
+/// simulated hierarchy lost or corrupted data (e.g. a dirty line was dropped
+/// without writeback).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct IntegrityError {
+    /// Address of the divergent load.
+    pub addr: Addr,
+    /// Architecturally correct value.
+    pub expected: u64,
+    /// Value the hierarchy produced.
+    pub observed: u64,
+}
+
+impl std::fmt::Display for IntegrityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "value integrity violation at {}: expected {:#x}, hierarchy returned {:#x}",
+            self.addr, self.expected, self.observed
+        )
+    }
+}
+
+impl std::error::Error for IntegrityError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mem = SparseMemory::new();
+        assert_eq!(mem.read_word(Addr::new(0xdead_beef)), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut mem = SparseMemory::new();
+        mem.write_word(Addr::new(0x1008), 99);
+        assert_eq!(mem.read_word(Addr::new(0x1008)), 99);
+        // Unaligned address reads the containing word.
+        assert_eq!(mem.read_word(Addr::new(0x100b)), 99);
+        assert_eq!(mem.resident_pages(), 1);
+    }
+
+    #[test]
+    fn zero_writes_do_not_materialize_pages() {
+        let mut mem = SparseMemory::new();
+        mem.write_word(Addr::new(0x5000), 0);
+        assert_eq!(mem.resident_pages(), 0);
+    }
+
+    #[test]
+    fn line_round_trip() {
+        let mut mem = SparseMemory::new();
+        let base = Addr::new(0x2040);
+        let line = LineData::from_words(&[1, 2, 3, 4]);
+        mem.write_line(base, &line);
+        assert_eq!(mem.read_line(base, 32), line);
+        assert_eq!(mem.read_word(Addr::new(0x2048)), 2);
+        // 64-byte view covers the 32-byte line plus zeros.
+        let wide = mem.read_line(base, 64);
+        assert_eq!(wide.word(0), 1);
+        assert_eq!(wide.word(4), 0);
+    }
+
+    #[test]
+    fn line_crossing_pages() {
+        let mut mem = SparseMemory::new();
+        let base = Addr::new(0xFE0); // last 32B of a 4 KB page
+        mem.write_line(base, &LineData::from_words(&[7, 8, 9, 10]));
+        assert_eq!(mem.read_word(Addr::new(0xFF8)), 10);
+    }
+
+    #[test]
+    fn functional_memory_separates_images() {
+        let mut mem = FunctionalMemory::new();
+        let a = Addr::new(0x40);
+        mem.initialize_word(a, 5);
+        assert_eq!(mem.architectural(a), 5);
+        assert_eq!(mem.dram().read_word(a), 5);
+        mem.store_architectural(a, 6);
+        assert_eq!(mem.architectural(a), 6);
+        assert_eq!(mem.dram().read_word(a), 5, "DRAM unchanged until writeback");
+        mem.dram_mut().write_word(a, 6);
+        assert!(mem.check_load(a, 6).is_ok());
+    }
+
+    #[test]
+    fn integrity_violation_detected() {
+        let mut mem = FunctionalMemory::new();
+        let a = Addr::new(0x80);
+        mem.store_architectural(a, 0xAB);
+        let err = mem.check_load(a, 0xCD).unwrap_err();
+        assert_eq!(err.expected, 0xAB);
+        assert_eq!(err.observed, 0xCD);
+        assert!(err.to_string().contains("integrity"));
+    }
+}

@@ -1,0 +1,355 @@
+//! Miss status holding registers (the "miss address file").
+//!
+//! SimpleScalar's MSHR "has unlimited capacity" (paper §2.2); MicroLib's is
+//! finite — 8 entries × 4 reads in the baseline — and that difference alone
+//! visibly changes mechanism rankings (Fig 9). This implementation supports
+//! both modes: construct with [`MshrFile::new`] for the finite file or
+//! [`MshrFile::unlimited`] for the SimpleScalar-like one.
+
+use crate::ReqId;
+use microlib_model::{Addr, Cycle};
+
+/// One consumer waiting on an in-flight line fill.
+#[derive(Clone, Copy, Debug)]
+pub struct MshrTarget {
+    /// The CPU-visible request to complete, if this is a demand access
+    /// (`None` for prefetch-originated entries).
+    pub req: Option<ReqId>,
+    /// Full byte address of the access.
+    pub addr: Addr,
+    /// Whether the access is a store (its data merges into the fill).
+    pub is_store: bool,
+    /// Store value (ignored for loads).
+    pub value: u64,
+}
+
+/// One in-flight miss.
+#[derive(Clone, Debug)]
+pub struct MshrEntry {
+    /// Line-aligned miss address.
+    pub line: Addr,
+    /// Demand/prefetch consumers merged into this miss.
+    pub targets: Vec<MshrTarget>,
+    /// Whether the entry was allocated by a prefetch (and no demand has
+    /// merged into it yet).
+    pub is_prefetch: bool,
+    /// Whether the fill should bypass the cache array and go to the
+    /// mechanism's buffer.
+    pub to_buffer: bool,
+}
+
+/// Outcome of [`MshrFile::try_insert`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must send the miss downstream.
+    Allocated,
+    /// The access merged into an existing in-flight miss; nothing to send.
+    Merged,
+    /// The file is full (no free entry for a new line).
+    FullStall,
+    /// An entry for the line exists but its target slots are exhausted —
+    /// the paper's "two misses on the same cache line … can stall the
+    /// cache".
+    TargetStall,
+    /// The file is busy this cycle (an allocation happened last cycle —
+    /// "upon receiving a request the MSHR is not available for one cycle").
+    BusyStall,
+}
+
+impl MshrOutcome {
+    /// Whether the access was accepted (allocated or merged).
+    pub fn accepted(self) -> bool {
+        matches!(self, MshrOutcome::Allocated | MshrOutcome::Merged)
+    }
+}
+
+/// Occupancy counters for an [`MshrFile`].
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct MshrStats {
+    /// Entries allocated.
+    pub allocations: u64,
+    /// Accesses merged into existing entries.
+    pub merges: u64,
+    /// Stalls because the file was full.
+    pub full_stalls: u64,
+    /// Stalls because an entry's target slots were exhausted.
+    pub target_stalls: u64,
+    /// Stalls because the file was busy after an allocation.
+    pub busy_stalls: u64,
+    /// Peak simultaneous occupancy.
+    pub peak_occupancy: u64,
+}
+
+/// The miss address file.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_mem::{MshrFile, MshrOutcome, MshrTarget};
+/// use microlib_model::{Addr, Cycle};
+///
+/// let mut mshr = MshrFile::new(2, 2);
+/// let t = |a| MshrTarget { req: None, addr: Addr::new(a), is_store: false, value: 0 };
+/// let now = Cycle::new(10);
+/// assert_eq!(mshr.try_insert(Addr::new(0x100), t(0x104), false, false, now), MshrOutcome::Allocated);
+/// // Next cycle: a second access to the same line merges.
+/// let now = Cycle::new(11);
+/// assert_eq!(mshr.try_insert(Addr::new(0x100), t(0x108), false, false, now), MshrOutcome::Merged);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    entries: Vec<MshrEntry>,
+    capacity: Option<usize>,
+    targets_per_entry: usize,
+    busy_after: Option<Cycle>,
+    model_busy_cycle: bool,
+    stats: MshrStats,
+}
+
+impl MshrFile {
+    /// Creates a finite MSHR file with `entries` entries of
+    /// `targets_per_entry` mergeable reads each.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either parameter is zero.
+    pub fn new(entries: u32, targets_per_entry: u32) -> Self {
+        assert!(entries > 0 && targets_per_entry > 0, "MSHR geometry must be positive");
+        MshrFile {
+            entries: Vec::with_capacity(entries as usize),
+            capacity: Some(entries as usize),
+            targets_per_entry: targets_per_entry as usize,
+            busy_after: None,
+            model_busy_cycle: true,
+            stats: MshrStats::default(),
+        }
+    }
+
+    /// Creates a SimpleScalar-like unlimited file: never full, unlimited
+    /// merges, never busy.
+    pub fn unlimited() -> Self {
+        MshrFile {
+            entries: Vec::new(),
+            capacity: None,
+            targets_per_entry: usize::MAX,
+            busy_after: None,
+            model_busy_cycle: false,
+            stats: MshrStats::default(),
+        }
+    }
+
+    /// Enables/disables the one-cycle busy window after an allocation
+    /// (a [`FidelityConfig::pipeline_stalls`] toggle).
+    ///
+    /// [`FidelityConfig::pipeline_stalls`]: microlib_model::FidelityConfig::pipeline_stalls
+    pub fn set_model_busy_cycle(&mut self, on: bool) {
+        self.model_busy_cycle = on;
+    }
+
+    /// Number of in-flight entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no miss is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Whether a new allocation would fail for capacity reasons.
+    pub fn is_full(&self) -> bool {
+        self.capacity.is_some_and(|c| self.entries.len() >= c)
+    }
+
+    /// Whether an entry for `line` is in flight.
+    pub fn contains(&self, line: Addr) -> bool {
+        self.entries.iter().any(|e| e.line == line)
+    }
+
+    /// Whether the in-flight entry for `line` (if any) is a pure prefetch.
+    pub fn is_prefetch_inflight(&self, line: Addr) -> bool {
+        self.entries.iter().any(|e| e.line == line && e.is_prefetch)
+    }
+
+    /// Attempts to record a miss on `line` with consumer `target`.
+    ///
+    /// `as_prefetch` marks prefetch-originated allocations; `to_buffer`
+    /// routes the eventual fill to the mechanism's buffer instead of the
+    /// cache array. Demand accesses merging into a prefetch entry promote
+    /// it to demand (the prefetch became useful-but-late).
+    pub fn try_insert(
+        &mut self,
+        line: Addr,
+        target: MshrTarget,
+        as_prefetch: bool,
+        to_buffer: bool,
+        now: Cycle,
+    ) -> MshrOutcome {
+        if self.model_busy_cycle {
+            if let Some(busy) = self.busy_after {
+                if now <= busy {
+                    self.stats.busy_stalls += 1;
+                    return MshrOutcome::BusyStall;
+                }
+            }
+        }
+        if let Some(entry) = self.entries.iter_mut().find(|e| e.line == line) {
+            if entry.targets.len() >= self.targets_per_entry {
+                self.stats.target_stalls += 1;
+                return MshrOutcome::TargetStall;
+            }
+            entry.targets.push(target);
+            if !as_prefetch {
+                entry.is_prefetch = false;
+                entry.to_buffer = false;
+            }
+            self.stats.merges += 1;
+            return MshrOutcome::Merged;
+        }
+        if self.is_full() {
+            self.stats.full_stalls += 1;
+            return MshrOutcome::FullStall;
+        }
+        self.entries.push(MshrEntry {
+            line,
+            targets: vec![target],
+            is_prefetch: as_prefetch,
+            to_buffer,
+        });
+        self.stats.allocations += 1;
+        self.stats.peak_occupancy = self.stats.peak_occupancy.max(self.entries.len() as u64);
+        if self.model_busy_cycle {
+            self.busy_after = Some(now);
+        }
+        MshrOutcome::Allocated
+    }
+
+    /// Completes the in-flight miss on `line`, removing and returning its
+    /// entry (with all merged targets).
+    pub fn complete(&mut self, line: Addr) -> Option<MshrEntry> {
+        let idx = self.entries.iter().position(|e| e.line == line)?;
+        Some(self.entries.swap_remove(idx))
+    }
+
+    /// Occupancy counters.
+    pub fn stats(&self) -> MshrStats {
+        self.stats
+    }
+
+    /// Clears all in-flight state and counters.
+    pub fn reset(&mut self) {
+        self.entries.clear();
+        self.busy_after = None;
+        self.stats = MshrStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(addr: u64) -> MshrTarget {
+        MshrTarget {
+            req: Some(ReqId::new(addr)),
+            addr: Addr::new(addr),
+            is_store: false,
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(8, 4);
+        assert_eq!(
+            m.try_insert(Addr::new(0x100), t(0x100), false, false, Cycle::new(0)),
+            MshrOutcome::Allocated
+        );
+        assert_eq!(
+            m.try_insert(Addr::new(0x100), t(0x108), false, false, Cycle::new(2)),
+            MshrOutcome::Merged
+        );
+        assert_eq!(m.len(), 1);
+        let entry = m.complete(Addr::new(0x100)).unwrap();
+        assert_eq!(entry.targets.len(), 2);
+        assert!(m.is_empty());
+        assert!(m.complete(Addr::new(0x100)).is_none());
+    }
+
+    #[test]
+    fn busy_cycle_after_allocation() {
+        let mut m = MshrFile::new(8, 4);
+        let now = Cycle::new(5);
+        assert!(m.try_insert(Addr::new(0x100), t(0x100), false, false, now).accepted());
+        // Same cycle: busy.
+        assert_eq!(
+            m.try_insert(Addr::new(0x200), t(0x200), false, false, now),
+            MshrOutcome::BusyStall
+        );
+        // Next cycle: fine.
+        assert_eq!(
+            m.try_insert(Addr::new(0x200), t(0x200), false, false, Cycle::new(6)),
+            MshrOutcome::Allocated
+        );
+    }
+
+    #[test]
+    fn target_slots_exhaust() {
+        let mut m = MshrFile::new(8, 2);
+        m.set_model_busy_cycle(false);
+        let line = Addr::new(0x300);
+        assert!(m.try_insert(line, t(0x300), false, false, Cycle::new(0)).accepted());
+        assert!(m.try_insert(line, t(0x308), false, false, Cycle::new(1)).accepted());
+        assert_eq!(
+            m.try_insert(line, t(0x310), false, false, Cycle::new(2)),
+            MshrOutcome::TargetStall
+        );
+        assert_eq!(m.stats().target_stalls, 1);
+    }
+
+    #[test]
+    fn capacity_exhausts() {
+        let mut m = MshrFile::new(2, 4);
+        m.set_model_busy_cycle(false);
+        assert!(m.try_insert(Addr::new(0x000), t(0), false, false, Cycle::new(0)).accepted());
+        assert!(m.try_insert(Addr::new(0x100), t(0x100), false, false, Cycle::new(1)).accepted());
+        assert_eq!(
+            m.try_insert(Addr::new(0x200), t(0x200), false, false, Cycle::new(2)),
+            MshrOutcome::FullStall
+        );
+        assert!(m.is_full());
+        assert_eq!(m.stats().full_stalls, 1);
+        assert_eq!(m.stats().peak_occupancy, 2);
+    }
+
+    #[test]
+    fn unlimited_never_stalls() {
+        let mut m = MshrFile::unlimited();
+        for i in 0..100u64 {
+            assert!(m
+                .try_insert(Addr::new(i * 64), t(i * 64), false, false, Cycle::new(0))
+                .accepted());
+        }
+        assert!(!m.is_full());
+        assert_eq!(m.len(), 100);
+    }
+
+    #[test]
+    fn demand_promotes_prefetch_entry() {
+        let mut m = MshrFile::new(4, 4);
+        m.set_model_busy_cycle(false);
+        let line = Addr::new(0x400);
+        let pf = MshrTarget {
+            req: None,
+            addr: line,
+            is_store: false,
+            value: 0,
+        };
+        assert!(m.try_insert(line, pf, true, true, Cycle::new(0)).accepted());
+        assert!(m.is_prefetch_inflight(line));
+        assert!(m.try_insert(line, t(0x404), false, false, Cycle::new(1)).accepted());
+        assert!(!m.is_prefetch_inflight(line));
+        let entry = m.complete(line).unwrap();
+        assert!(!entry.is_prefetch);
+        assert!(!entry.to_buffer, "demand merge redirects fill to the cache");
+    }
+}

@@ -1,0 +1,559 @@
+//! Main-memory models: the detailed SDRAM controller and the
+//! SimpleScalar-like constant-latency memory.
+//!
+//! The SDRAM model implements Table 1's geometry and timings (4 banks ×
+//! 8192 rows × 1024 columns; tRRD/tRAS/tRCD/CL/tRP/tRC in CPU cycles), a
+//! bounded 32-entry controller queue, open-row tracking with bank
+//! interleaving ("pipelining page opening and closing operations"), and two
+//! of the scheduling schemes of Green (EDN 1998) — FCFS and open-row-first,
+//! the latter being the one the paper "retained [because it] significantly
+//! reduces conflicts in row buffers". Refresh is avoided, as in Table 1.
+
+use microlib_model::{Addr, BankInterleave, Cycle, MemoryModel, MemoryStats, SdramConfig, SdramSchedule};
+use std::collections::VecDeque;
+
+/// Opaque token identifying a memory transaction to the hierarchy.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct MemToken(pub u64);
+
+/// A completed memory transaction.
+#[derive(Clone, Copy, Debug)]
+pub struct MemDone {
+    /// Token supplied at submission.
+    pub token: MemToken,
+    /// Whether the transaction was a write.
+    pub is_write: bool,
+    /// Cycle at which the data left (reads) or was absorbed (writes).
+    pub finished_at: Cycle,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Pending {
+    token: MemToken,
+    line: Addr,
+    is_write: bool,
+    arrival: Cycle,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct InService {
+    token: MemToken,
+    is_write: bool,
+    arrival: Cycle,
+    data_ready: Cycle,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Bank {
+    open_row: Option<u64>,
+    ready_at: Cycle,
+    active_since: Cycle,
+}
+
+/// The detailed SDRAM controller + banks.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_mem::{MemToken, Sdram};
+/// use microlib_model::{Addr, Cycle, SdramConfig};
+///
+/// let mut mem = Sdram::new(SdramConfig::baseline());
+/// assert!(mem.try_push(MemToken(1), Addr::new(0x1000), false, Cycle::new(0)));
+/// let mut done = Vec::new();
+/// for c in 0..200 {
+///     done.extend(mem.tick(Cycle::new(c)));
+/// }
+/// assert_eq!(done.len(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Sdram {
+    config: SdramConfig,
+    queue: VecDeque<Pending>,
+    in_service: Vec<InService>,
+    banks: Vec<Bank>,
+    last_activate: Cycle,
+    stats: MemoryStats,
+}
+
+impl Sdram {
+    /// Creates an idle SDRAM subsystem.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` fails validation — construct via a validated
+    /// [`SystemConfig`](microlib_model::SystemConfig) to avoid this.
+    pub fn new(config: SdramConfig) -> Self {
+        config.validate().expect("invalid SDRAM configuration");
+        Sdram {
+            queue: VecDeque::with_capacity(config.queue_entries as usize),
+            in_service: Vec::new(),
+            banks: vec![
+                Bank {
+                    open_row: None,
+                    ready_at: Cycle::ZERO,
+                    active_since: Cycle::ZERO,
+                };
+                config.banks as usize
+            ],
+            last_activate: Cycle::ZERO,
+            config,
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &SdramConfig {
+        &self.config
+    }
+
+    /// Maps a line address onto (bank, row) per the interleaving scheme.
+    pub fn map(&self, line: Addr) -> (usize, u64) {
+        let col_bits = 64 - (self.config.columns as u64).leading_zeros() - 1;
+        let bank_bits = 64 - (self.config.banks as u64).leading_zeros() - 1;
+        let lines = line.raw() >> 6; // 64-byte line-sized columns
+        let col = lines & ((1 << col_bits) - 1);
+        let mut bank = (lines >> col_bits) & ((1 << bank_bits) - 1);
+        let row = (lines >> (col_bits + bank_bits)) % self.config.rows as u64;
+        if self.config.interleave == BankInterleave::Permutation {
+            bank ^= row & ((1 << bank_bits) - 1);
+        }
+        let _ = col;
+        (bank as usize, row)
+    }
+
+    /// Whether the controller queue has room.
+    pub fn can_accept(&self) -> bool {
+        self.queue.len() < self.config.queue_entries as usize
+    }
+
+    /// Submits a transaction; returns `false` if the queue is full.
+    pub fn try_push(&mut self, token: MemToken, line: Addr, is_write: bool, now: Cycle) -> bool {
+        if !self.can_accept() {
+            return false;
+        }
+        self.queue.push_back(Pending {
+            token,
+            line,
+            is_write,
+            arrival: now,
+        });
+        true
+    }
+
+    /// Number of queued (not yet scheduled) transactions.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of transactions being serviced by banks.
+    pub fn in_service_len(&self) -> usize {
+        self.in_service.len()
+    }
+
+    fn pick_next(&self, now: Cycle) -> Option<usize> {
+        let startable = |p: &Pending| {
+            let (bank, _) = self.map(p.line);
+            self.banks[bank].ready_at <= now
+        };
+        match self.config.schedule {
+            SdramSchedule::Fcfs => self.queue.iter().position(startable),
+            SdramSchedule::OpenRowFirst => {
+                let row_hit = |p: &Pending| {
+                    let (bank, row) = self.map(p.line);
+                    self.banks[bank].open_row == Some(row) && self.banks[bank].ready_at <= now
+                };
+                self.queue
+                    .iter()
+                    .position(row_hit)
+                    .or_else(|| self.queue.iter().position(startable))
+            }
+        }
+    }
+
+    /// Advances one CPU cycle; returns transactions whose data became ready.
+    pub fn tick(&mut self, now: Cycle) -> Vec<MemDone> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.in_service.len() {
+            if self.in_service[i].data_ready <= now {
+                let s = self.in_service.swap_remove(i);
+                self.stats.requests += 1;
+                self.stats.total_latency += s.data_ready.since(s.arrival);
+                done.push(MemDone {
+                    token: s.token,
+                    is_write: s.is_write,
+                    finished_at: s.data_ready,
+                });
+            } else {
+                i += 1;
+            }
+        }
+
+        if !self.queue.is_empty() {
+            self.stats.queue_wait_cycles += 1;
+        }
+
+        // Start at most one command per cycle (shared command/address bus).
+        if let Some(pos) = self.pick_next(now) {
+            let p = self.queue.remove(pos).expect("position valid");
+            let (bank_idx, row) = self.map(p.line);
+            let cfg = self.config;
+            let bank = &mut self.banks[bank_idx];
+            let start = if bank.ready_at > now { bank.ready_at } else { now };
+            let data_ready = match bank.open_row {
+                Some(open) if open == row => {
+                    self.stats.row_hits += 1;
+                    start + cfg.cas
+                }
+                Some(_) => {
+                    // Row conflict: precharge (respecting tRAS), activate
+                    // (respecting tRC and tRRD), then CAS.
+                    self.stats.precharges += 1;
+                    let pre_start = start.max(bank.active_since + cfg.t_ras);
+                    let mut act = pre_start + cfg.t_rp;
+                    act = act.max(bank.active_since + cfg.t_rc);
+                    act = act.max(self.last_activate + cfg.t_rrd);
+                    bank.active_since = act;
+                    self.last_activate = act;
+                    bank.open_row = Some(row);
+                    act + cfg.t_rcd + cfg.cas
+                }
+                None => {
+                    let act = start.max(self.last_activate + cfg.t_rrd);
+                    bank.active_since = act;
+                    self.last_activate = act;
+                    bank.open_row = Some(row);
+                    act + cfg.t_rcd + cfg.cas
+                }
+            };
+            bank.ready_at = data_ready;
+            self.in_service.push(InService {
+                token: p.token,
+                is_write: p.is_write,
+                arrival: p.arrival,
+                data_ready,
+            });
+        }
+        done
+    }
+
+    /// Accumulated controller statistics.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Clears queues, bank state and counters.
+    pub fn reset(&mut self) {
+        self.queue.clear();
+        self.in_service.clear();
+        for b in &mut self.banks {
+            b.open_row = None;
+            b.ready_at = Cycle::ZERO;
+            b.active_since = Cycle::ZERO;
+        }
+        self.last_activate = Cycle::ZERO;
+        self.stats = MemoryStats::default();
+    }
+}
+
+/// SimpleScalar's memory: constant latency, unlimited bandwidth.
+#[derive(Clone, Debug)]
+pub struct ConstantMemory {
+    latency: u64,
+    in_flight: Vec<InService>,
+    stats: MemoryStats,
+}
+
+impl ConstantMemory {
+    /// Creates a constant-latency memory.
+    pub fn new(latency: u64) -> Self {
+        ConstantMemory {
+            latency,
+            in_flight: Vec::new(),
+            stats: MemoryStats::default(),
+        }
+    }
+
+    /// The flat latency in CPU cycles.
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Submits a transaction (never refuses).
+    pub fn push(&mut self, token: MemToken, is_write: bool, now: Cycle) {
+        self.in_flight.push(InService {
+            token,
+            is_write,
+            arrival: now,
+            data_ready: now + self.latency,
+        });
+    }
+
+    /// Advances one cycle, returning finished transactions.
+    pub fn tick(&mut self, now: Cycle) -> Vec<MemDone> {
+        let mut done = Vec::new();
+        let mut i = 0;
+        while i < self.in_flight.len() {
+            if self.in_flight[i].data_ready <= now {
+                let s = self.in_flight.swap_remove(i);
+                self.stats.requests += 1;
+                self.stats.total_latency += s.data_ready.since(s.arrival);
+                done.push(MemDone {
+                    token: s.token,
+                    is_write: s.is_write,
+                    finished_at: s.data_ready,
+                });
+            } else {
+                i += 1;
+            }
+        }
+        done
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MemoryStats {
+        self.stats
+    }
+
+    /// Clears in-flight state and counters.
+    pub fn reset(&mut self) {
+        self.in_flight.clear();
+        self.stats = MemoryStats::default();
+    }
+}
+
+/// Either main-memory model behind one API.
+#[derive(Clone, Debug)]
+pub enum MainMemory {
+    /// Constant-latency (SimpleScalar-like).
+    Constant(ConstantMemory),
+    /// Detailed SDRAM.
+    Sdram(Sdram),
+}
+
+impl MainMemory {
+    /// Builds the model described by `model`.
+    pub fn from_model(model: &MemoryModel) -> Self {
+        match model {
+            MemoryModel::Constant { latency } => MainMemory::Constant(ConstantMemory::new(*latency)),
+            MemoryModel::Sdram(cfg) => MainMemory::Sdram(Sdram::new(*cfg)),
+        }
+    }
+
+    /// Submits a transaction; returns `false` if the controller queue is
+    /// full (constant memory never refuses).
+    pub fn try_push(&mut self, token: MemToken, line: Addr, is_write: bool, now: Cycle) -> bool {
+        match self {
+            MainMemory::Constant(m) => {
+                m.push(token, is_write, now);
+                true
+            }
+            MainMemory::Sdram(m) => m.try_push(token, line, is_write, now),
+        }
+    }
+
+    /// Advances one cycle, returning finished transactions.
+    pub fn tick(&mut self, now: Cycle) -> Vec<MemDone> {
+        match self {
+            MainMemory::Constant(m) => m.tick(now),
+            MainMemory::Sdram(m) => m.tick(now),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> MemoryStats {
+        match self {
+            MainMemory::Constant(m) => m.stats(),
+            MainMemory::Sdram(m) => m.stats(),
+        }
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        match self {
+            MainMemory::Constant(m) => m.reset(),
+            MainMemory::Sdram(m) => m.reset(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_until_done(mem: &mut Sdram, upto: u64) -> Vec<MemDone> {
+        let mut out = Vec::new();
+        for c in 0..upto {
+            out.extend(mem.tick(Cycle::new(c)));
+        }
+        out
+    }
+
+    #[test]
+    fn cold_read_latency_is_rcd_plus_cas() {
+        let mut mem = Sdram::new(SdramConfig::baseline());
+        mem.try_push(MemToken(1), Addr::new(0x40), false, Cycle::new(0));
+        let done = run_until_done(&mut mem, 200);
+        assert_eq!(done.len(), 1);
+        // idle bank: activate at 20 (tRRD after last_activate=0), +tRCD+CL = 80.
+        assert_eq!(done[0].finished_at.raw(), 20 + 30 + 30);
+        assert_eq!(mem.stats().row_hits, 0);
+    }
+
+    #[test]
+    fn open_row_hit_is_cas_only() {
+        let mut mem = Sdram::new(SdramConfig::baseline());
+        mem.try_push(MemToken(1), Addr::new(0x40), false, Cycle::new(0));
+        let first = run_until_done(&mut mem, 200);
+        let t1 = first[0].finished_at;
+        // Same line again: row already open.
+        mem.try_push(MemToken(2), Addr::new(0x80), false, t1);
+        let mut second = Vec::new();
+        for c in t1.raw()..t1.raw() + 100 {
+            second.extend(mem.tick(Cycle::new(c)));
+        }
+        assert_eq!(second.len(), 1);
+        assert_eq!(second[0].finished_at - t1, SdramConfig::baseline().cas);
+        assert_eq!(mem.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let cfg = SdramConfig {
+            interleave: BankInterleave::Linear,
+            ..SdramConfig::baseline()
+        };
+        let mut mem = Sdram::new(cfg);
+        // Two addresses in the same bank, different rows. With linear
+        // mapping: lines = addr>>6; col 10 bits, bank 2 bits, row above.
+        // Same bank 0, rows 0 and 1: line numbers 0 and 4096<<0... row is
+        // lines >> 12, so line 0 => row 0; line 4096 => row 1, bank (4096>>10)&3 = 0.
+        let a = Addr::new(0);
+        let b = Addr::new(4096 << 6);
+        assert_eq!(mem.map(a).0, mem.map(b).0, "same bank");
+        assert_ne!(mem.map(a).1, mem.map(b).1, "different rows");
+        mem.try_push(MemToken(1), a, false, Cycle::new(0));
+        let d1 = run_until_done(&mut mem, 200);
+        let t1 = d1[0].finished_at;
+        mem.try_push(MemToken(2), b, false, t1);
+        let mut d2 = Vec::new();
+        for c in t1.raw()..t1.raw() + 400 {
+            d2.extend(mem.tick(Cycle::new(c)));
+        }
+        assert_eq!(d2.len(), 1);
+        let latency = d2[0].finished_at - t1;
+        // Must pay at least tRP + tRCD + CL, plus tRAS/tRC slack.
+        assert!(latency >= 30 + 30 + 30, "conflict latency {latency} too small");
+        assert_eq!(mem.stats().precharges, 1);
+    }
+
+    #[test]
+    fn queue_is_bounded() {
+        let cfg = SdramConfig {
+            queue_entries: 2,
+            ..SdramConfig::baseline()
+        };
+        let mut mem = Sdram::new(cfg);
+        assert!(mem.try_push(MemToken(1), Addr::new(0x00), false, Cycle::ZERO));
+        assert!(mem.try_push(MemToken(2), Addr::new(0x40), false, Cycle::ZERO));
+        assert!(!mem.try_push(MemToken(3), Addr::new(0x80), false, Cycle::ZERO));
+        assert!(!mem.can_accept());
+    }
+
+    #[test]
+    fn open_row_first_reorders_past_conflicts() {
+        let cfg = SdramConfig {
+            interleave: BankInterleave::Linear,
+            schedule: SdramSchedule::OpenRowFirst,
+            ..SdramConfig::baseline()
+        };
+        let mut mem = Sdram::new(cfg);
+        // Open row 0 of bank 0.
+        mem.try_push(MemToken(1), Addr::new(0), false, Cycle::new(0));
+        let d1 = run_until_done(&mut mem, 200);
+        let t1 = d1[0].finished_at;
+        // Queue a conflicting request (row 1) then a row-hit (row 0).
+        mem.try_push(MemToken(2), Addr::new(4096 << 6), false, t1);
+        mem.try_push(MemToken(3), Addr::new(0x40), false, t1);
+        let mut out = Vec::new();
+        for c in t1.raw()..t1.raw() + 600 {
+            out.extend(mem.tick(Cycle::new(c)));
+        }
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].token, MemToken(3), "row hit scheduled first");
+        assert_eq!(out[1].token, MemToken(2));
+    }
+
+    #[test]
+    fn fcfs_preserves_order() {
+        let cfg = SdramConfig {
+            interleave: BankInterleave::Linear,
+            schedule: SdramSchedule::Fcfs,
+            ..SdramConfig::baseline()
+        };
+        let mut mem = Sdram::new(cfg);
+        mem.try_push(MemToken(1), Addr::new(0), false, Cycle::new(0));
+        let t1 = run_until_done(&mut mem, 200)[0].finished_at;
+        mem.try_push(MemToken(2), Addr::new(4096 << 6), false, t1);
+        mem.try_push(MemToken(3), Addr::new(0x40), false, t1);
+        let mut out = Vec::new();
+        for c in t1.raw()..t1.raw() + 600 {
+            out.extend(mem.tick(Cycle::new(c)));
+        }
+        assert_eq!(out[0].token, MemToken(1 + 1));
+    }
+
+    #[test]
+    fn permutation_interleave_spreads_rows() {
+        let linear = Sdram::new(SdramConfig {
+            interleave: BankInterleave::Linear,
+            ..SdramConfig::baseline()
+        });
+        let perm = Sdram::new(SdramConfig::baseline());
+        // Two conflicting rows in the same bank under linear mapping...
+        let a = Addr::new(0);
+        let b = Addr::new(4096 << 6);
+        assert_eq!(linear.map(a).0, linear.map(b).0);
+        // ...land in different banks under permutation mapping.
+        assert_ne!(perm.map(a).0, perm.map(b).0);
+    }
+
+    #[test]
+    fn constant_memory_flat_latency() {
+        let mut mem = ConstantMemory::new(70);
+        mem.push(MemToken(1), false, Cycle::new(5));
+        mem.push(MemToken(2), false, Cycle::new(5));
+        let mut done = Vec::new();
+        for c in 0..100 {
+            done.extend(mem.tick(Cycle::new(c)));
+        }
+        assert_eq!(done.len(), 2, "unlimited bandwidth");
+        assert!(done.iter().all(|d| d.finished_at.raw() == 75));
+        assert!((mem.stats().average_latency().unwrap() - 70.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn main_memory_dispatch() {
+        let mut c = MainMemory::from_model(&MemoryModel::simplescalar_70());
+        assert!(c.try_push(MemToken(9), Addr::new(0x40), false, Cycle::ZERO));
+        let mut s = MainMemory::from_model(&MemoryModel::Sdram(SdramConfig::baseline()));
+        assert!(s.try_push(MemToken(9), Addr::new(0x40), true, Cycle::ZERO));
+        for mem in [&mut c, &mut s] {
+            let mut done = Vec::new();
+            for cyc in 0..300 {
+                done.extend(mem.tick(Cycle::new(cyc)));
+            }
+            assert_eq!(done.len(), 1);
+        }
+    }
+
+    #[test]
+    fn writes_count_in_stats() {
+        let mut mem = Sdram::new(SdramConfig::baseline());
+        mem.try_push(MemToken(1), Addr::new(0x40), true, Cycle::new(0));
+        let done = run_until_done(&mut mem, 300);
+        assert!(done[0].is_write);
+        assert_eq!(mem.stats().requests, 1);
+    }
+}

@@ -1,0 +1,733 @@
+//! Configuration types for every simulated component, with defaults matching
+//! Table 1 of the paper ("Baseline configuration").
+
+use std::fmt;
+
+/// Write policy of a cache (Table 1: writeback everywhere).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum WritePolicy {
+    /// Dirty lines are written back on eviction.
+    Writeback,
+    /// Stores propagate immediately to the next level.
+    Writethrough,
+}
+
+/// Allocation policy on a write miss (Table 1: allocate on write).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AllocPolicy {
+    /// Write misses allocate the line.
+    AllocateOnWrite,
+    /// Write misses bypass the cache.
+    NoWriteAllocate,
+}
+
+/// Replacement policy within a set.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Replacement {
+    /// Least-recently-used.
+    Lru,
+    /// Pseudo-random (xorshift over access count).
+    Random,
+    /// First-in-first-out.
+    Fifo,
+}
+
+/// Geometry and timing of one cache level.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_model::CacheConfig;
+///
+/// let l1 = CacheConfig::baseline_l1d();
+/// assert_eq!(l1.sets(), 1024); // 32 KB direct-mapped, 32-byte lines
+/// assert_eq!(l1.ways(), 1);
+/// ```
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CacheConfig {
+    /// Display name, e.g. `"L1D"`.
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity; `0` means fully associative.
+    pub assoc: u32,
+    /// Line size in bytes (power of two, at most 64).
+    pub line_bytes: u64,
+    /// Simultaneous accesses per cycle (ports). Refills consume a port when
+    /// the fidelity model says so.
+    pub ports: u32,
+    /// Miss status holding registers (outstanding distinct line misses).
+    pub mshr_entries: u32,
+    /// Reads that can merge into one MSHR entry.
+    pub mshr_reads_per_entry: u32,
+    /// Hit latency in CPU cycles.
+    pub latency: u64,
+    /// Write policy.
+    pub write_policy: WritePolicy,
+    /// Write-miss allocation policy.
+    pub alloc_policy: AllocPolicy,
+    /// Replacement policy.
+    pub replacement: Replacement,
+}
+
+impl CacheConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when the geometry is inconsistent (capacity
+    /// not divisible into sets, non-power-of-two line size, etc.).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !self.line_bytes.is_power_of_two() || self.line_bytes > 64 {
+            return Err(ConfigError::new(format!(
+                "{}: line size {} must be a power of two <= 64",
+                self.name, self.line_bytes
+            )));
+        }
+        if self.size_bytes == 0 || self.size_bytes % self.line_bytes != 0 {
+            return Err(ConfigError::new(format!(
+                "{}: capacity {} not a multiple of line size {}",
+                self.name, self.size_bytes, self.line_bytes
+            )));
+        }
+        let lines = self.size_bytes / self.line_bytes;
+        let ways = if self.assoc == 0 { lines } else { self.assoc as u64 };
+        if ways == 0 || lines % ways != 0 {
+            return Err(ConfigError::new(format!(
+                "{}: {} lines not divisible by associativity {}",
+                self.name, lines, ways
+            )));
+        }
+        let sets = lines / ways;
+        if !sets.is_power_of_two() {
+            return Err(ConfigError::new(format!(
+                "{}: set count {} must be a power of two",
+                self.name, sets
+            )));
+        }
+        if self.ports == 0 {
+            return Err(ConfigError::new(format!("{}: needs at least one port", self.name)));
+        }
+        if self.mshr_entries == 0 || self.mshr_reads_per_entry == 0 {
+            return Err(ConfigError::new(format!(
+                "{}: MSHR entries and reads-per-entry must be positive",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+
+    /// Total number of lines.
+    pub fn lines(&self) -> u64 {
+        self.size_bytes / self.line_bytes
+    }
+
+    /// Ways per set (resolving `assoc == 0` to "all lines in one set").
+    pub fn ways(&self) -> u64 {
+        if self.assoc == 0 {
+            self.lines()
+        } else {
+            self.assoc as u64
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.lines() / self.ways()
+    }
+
+    /// Table 1: L1 data cache — 32 KB direct-mapped, 32-byte lines, 4 ports,
+    /// 8 MSHRs × 4 reads, 1-cycle latency, writeback, allocate-on-write.
+    pub fn baseline_l1d() -> Self {
+        CacheConfig {
+            name: "L1D".to_owned(),
+            size_bytes: 32 * 1024,
+            assoc: 1,
+            line_bytes: 32,
+            ports: 4,
+            mshr_entries: 8,
+            mshr_reads_per_entry: 4,
+            latency: 1,
+            write_policy: WritePolicy::Writeback,
+            alloc_policy: AllocPolicy::AllocateOnWrite,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Table 1: L1 instruction cache — 32 KB 4-way LRU, 1-cycle latency.
+    pub fn baseline_l1i() -> Self {
+        CacheConfig {
+            name: "L1I".to_owned(),
+            size_bytes: 32 * 1024,
+            assoc: 4,
+            line_bytes: 32,
+            ports: 1,
+            mshr_entries: 4,
+            mshr_reads_per_entry: 4,
+            latency: 1,
+            write_policy: WritePolicy::Writeback,
+            alloc_policy: AllocPolicy::NoWriteAllocate,
+            replacement: Replacement::Lru,
+        }
+    }
+
+    /// Table 1: unified L2 — 1 MB 4-way LRU, 64-byte lines, 1 port,
+    /// 8 MSHRs × 4 reads, 12-cycle latency, writeback, allocate-on-write.
+    pub fn baseline_l2() -> Self {
+        CacheConfig {
+            name: "L2".to_owned(),
+            size_bytes: 1024 * 1024,
+            assoc: 4,
+            line_bytes: 64,
+            ports: 1,
+            mshr_entries: 8,
+            mshr_reads_per_entry: 4,
+            latency: 12,
+            write_policy: WritePolicy::Writeback,
+            alloc_policy: AllocPolicy::AllocateOnWrite,
+            replacement: Replacement::Lru,
+        }
+    }
+}
+
+/// A point-to-point bus: `width_bytes` transferred per beat, one beat every
+/// `cpu_cycles_per_beat` CPU cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BusConfig {
+    /// Bytes moved per beat.
+    pub width_bytes: u64,
+    /// CPU cycles per beat (bus at 400 MHz under a 2 GHz core = 5).
+    pub cpu_cycles_per_beat: u64,
+}
+
+impl BusConfig {
+    /// Table 1: L1↔L2 bus — 32 bytes wide at 2 GHz.
+    pub fn baseline_l1_l2() -> Self {
+        BusConfig {
+            width_bytes: 32,
+            cpu_cycles_per_beat: 1,
+        }
+    }
+
+    /// Table 1: memory bus — 64 bytes (512 bits) wide at 400 MHz.
+    pub fn baseline_memory() -> Self {
+        BusConfig {
+            width_bytes: 64,
+            cpu_cycles_per_beat: 5,
+        }
+    }
+
+    /// Beats (rounded up) needed to move `bytes`.
+    pub fn beats_for(&self, bytes: u64) -> u64 {
+        bytes.div_ceil(self.width_bytes)
+    }
+
+    /// CPU cycles needed to move `bytes`.
+    pub fn cycles_for(&self, bytes: u64) -> u64 {
+        self.beats_for(bytes) * self.cpu_cycles_per_beat
+    }
+}
+
+/// How the SDRAM controller orders requests.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum SdramSchedule {
+    /// Strict arrival order.
+    Fcfs,
+    /// Prefer requests hitting an already-open row (the Green-style schedule
+    /// the paper "retained [as the] one that significantly reduces conflicts
+    /// in row buffers").
+    OpenRowFirst,
+}
+
+/// How line addresses map onto (bank, row, column).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum BankInterleave {
+    /// Consecutive lines walk banks round-robin (page-interleaved).
+    Linear,
+    /// Permutation-based interleaving (Zhang et al., MICRO 2000): the bank
+    /// index is XOR-folded with low row bits to spread conflicting rows.
+    Permutation,
+}
+
+/// SDRAM geometry and timing, all timings in CPU cycles (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SdramConfig {
+    /// Number of banks.
+    pub banks: u32,
+    /// Rows per bank.
+    pub rows: u32,
+    /// Column (line-sized) slots per row.
+    pub columns: u32,
+    /// RAS-to-RAS delay between different banks (tRRD).
+    pub t_rrd: u64,
+    /// Minimum row-active time (tRAS).
+    pub t_ras: u64,
+    /// RAS-to-CAS delay (tRCD).
+    pub t_rcd: u64,
+    /// CAS latency (CL).
+    pub cas: u64,
+    /// Row precharge time (tRP).
+    pub t_rp: u64,
+    /// Row cycle time (tRC).
+    pub t_rc: u64,
+    /// Controller queue entries.
+    pub queue_entries: u32,
+    /// Scheduling policy.
+    pub schedule: SdramSchedule,
+    /// Bank interleaving scheme.
+    pub interleave: BankInterleave,
+}
+
+impl SdramConfig {
+    /// Table 1 timings: the "170-cycle" SDRAM used in the paper's main
+    /// experiments (2 GB, 4 banks, 8192 rows, 1024 columns; tRRD 20,
+    /// tRAS 80, tRCD 30, CL 30, tRP 30, tRC 110; 32-entry queue).
+    pub fn baseline() -> Self {
+        SdramConfig {
+            banks: 4,
+            rows: 8192,
+            columns: 1024,
+            t_rrd: 20,
+            t_ras: 80,
+            t_rcd: 30,
+            cas: 30,
+            t_rp: 30,
+            t_rc: 110,
+            queue_entries: 32,
+            schedule: SdramSchedule::OpenRowFirst,
+            interleave: BankInterleave::Permutation,
+        }
+    }
+
+    /// The scaled-down SDRAM of Fig 8 whose *average* latency matches the
+    /// 70-cycle SimpleScalar constant (the paper scaled the original
+    /// parameters, "especially the CAS latency, which was reduced from 6 to
+    /// 2 memory cycles" — i.e. to one third).
+    pub fn scaled_to_70_cycles() -> Self {
+        SdramConfig {
+            t_rrd: 8,
+            t_ras: 30,
+            t_rcd: 12,
+            cas: 10,
+            t_rp: 12,
+            t_rc: 42,
+            ..Self::baseline()
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if the geometry or timing is degenerate
+    /// (zero banks/rows/columns/queue, or tRC shorter than tRAS + tRP).
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.banks == 0 || !self.banks.is_power_of_two() {
+            return Err(ConfigError::new("SDRAM banks must be a nonzero power of two"));
+        }
+        if self.rows == 0 || self.columns == 0 {
+            return Err(ConfigError::new("SDRAM rows/columns must be nonzero"));
+        }
+        if self.queue_entries == 0 {
+            return Err(ConfigError::new("SDRAM controller queue must be nonzero"));
+        }
+        if self.t_rc < self.t_ras + self.t_rp {
+            return Err(ConfigError::new(format!(
+                "SDRAM tRC {} must cover tRAS {} + tRP {}",
+                self.t_rc, self.t_ras, self.t_rp
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// The main-memory model behind the L2 (the independent variable of Fig 8).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MemoryModel {
+    /// SimpleScalar-style constant latency with unlimited bandwidth.
+    Constant {
+        /// Flat latency in CPU cycles (the articles' 70-cycle model).
+        latency: u64,
+    },
+    /// The detailed SDRAM model.
+    Sdram(SdramConfig),
+}
+
+impl MemoryModel {
+    /// The constant 70-cycle model used by "many articles".
+    pub fn simplescalar_70() -> Self {
+        MemoryModel::Constant { latency: 70 }
+    }
+
+    /// Short display label used in experiment output.
+    pub fn label(&self) -> String {
+        match self {
+            MemoryModel::Constant { latency } => format!("constant-{latency}"),
+            MemoryModel::Sdram(cfg) => {
+                if *cfg == SdramConfig::scaled_to_70_cycles() {
+                    "sdram-70".to_owned()
+                } else {
+                    "sdram-170".to_owned()
+                }
+            }
+        }
+    }
+}
+
+/// Out-of-order core parameters (Table 1, "Processor core").
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CoreConfig {
+    /// Register update unit (instruction window) entries.
+    pub ruu_entries: u32,
+    /// Load/store queue entries.
+    pub lsq_entries: u32,
+    /// Instructions fetched per cycle.
+    pub fetch_width: u32,
+    /// Instructions decoded/dispatched per cycle.
+    pub decode_width: u32,
+    /// Instructions issued per cycle.
+    pub issue_width: u32,
+    /// Instructions committed per cycle.
+    pub commit_width: u32,
+    /// Integer ALUs.
+    pub int_alu: u32,
+    /// Integer multiply/divide units.
+    pub int_mult: u32,
+    /// Floating-point ALUs.
+    pub fp_alu: u32,
+    /// Floating-point multiply/divide units.
+    pub fp_mult: u32,
+    /// Load/store units (address-generation ports into the LSQ).
+    pub mem_units: u32,
+    /// Front-end refill penalty after a mispredicted branch resolves.
+    pub mispredict_penalty: u64,
+}
+
+impl CoreConfig {
+    /// Table 1: 128-RUU, 128-LSQ, 8-wide fetch/decode/issue/commit,
+    /// 8 IntALU, 3 IntMult/Div, 6 FPALU, 2 FPMult/Div, 4 load/store units.
+    pub fn baseline() -> Self {
+        CoreConfig {
+            ruu_entries: 128,
+            lsq_entries: 128,
+            fetch_width: 8,
+            decode_width: 8,
+            issue_width: 8,
+            commit_width: 8,
+            int_alu: 8,
+            int_mult: 3,
+            fp_alu: 6,
+            fp_mult: 2,
+            mem_units: 4,
+            mispredict_penalty: 3,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] if any width or resource count is zero.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        let fields = [
+            ("ruu_entries", self.ruu_entries),
+            ("lsq_entries", self.lsq_entries),
+            ("fetch_width", self.fetch_width),
+            ("decode_width", self.decode_width),
+            ("issue_width", self.issue_width),
+            ("commit_width", self.commit_width),
+            ("int_alu", self.int_alu),
+            ("int_mult", self.int_mult),
+            ("fp_alu", self.fp_alu),
+            ("fp_mult", self.fp_mult),
+            ("mem_units", self.mem_units),
+        ];
+        for (name, v) in fields {
+            if v == 0 {
+                return Err(ConfigError::new(format!("core parameter {name} must be nonzero")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The four cache-model fidelity toggles the paper identified when
+/// validating MicroLib against SimpleScalar (§2.2). All `true` is the
+/// detailed MicroLib model; all `false` approximates SimpleScalar.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct FidelityConfig {
+    /// MSHR capacity is enforced (SimpleScalar's is unlimited).
+    pub finite_mshr: bool,
+    /// Cache-pipeline hazards stall requests (same-line different-address
+    /// misses; MSHR busy one cycle after allocation).
+    pub pipeline_stalls: bool,
+    /// Cache stalls propagate back and stall the LSQ.
+    pub lsq_backpressure: bool,
+    /// Refills strictly consume a cache port.
+    pub refill_uses_port: bool,
+}
+
+impl FidelityConfig {
+    /// The detailed MicroLib model (all hazards modelled).
+    pub fn microlib() -> Self {
+        FidelityConfig {
+            finite_mshr: true,
+            pipeline_stalls: true,
+            lsq_backpressure: true,
+            refill_uses_port: true,
+        }
+    }
+
+    /// The SimpleScalar-like idealized model (no hazards).
+    pub fn simplescalar_like() -> Self {
+        FidelityConfig {
+            finite_mshr: false,
+            pipeline_stalls: false,
+            lsq_backpressure: false,
+            refill_uses_port: false,
+        }
+    }
+}
+
+/// Complete system configuration: core + hierarchy + memory + fidelity.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_model::SystemConfig;
+///
+/// let cfg = SystemConfig::baseline();
+/// cfg.validate().expect("Table 1 configuration is self-consistent");
+/// assert_eq!(cfg.l2.latency, 12);
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SystemConfig {
+    /// Out-of-order core.
+    pub core: CoreConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// Unified L2.
+    pub l2: CacheConfig,
+    /// L1↔L2 bus.
+    pub l1_l2_bus: BusConfig,
+    /// L2↔memory bus.
+    pub memory_bus: BusConfig,
+    /// Main-memory model.
+    pub memory: MemoryModel,
+    /// Cache-model fidelity toggles.
+    pub fidelity: FidelityConfig,
+}
+
+impl SystemConfig {
+    /// The full Table 1 baseline.
+    pub fn baseline() -> Self {
+        SystemConfig {
+            core: CoreConfig::baseline(),
+            l1d: CacheConfig::baseline_l1d(),
+            l1i: CacheConfig::baseline_l1i(),
+            l2: CacheConfig::baseline_l2(),
+            l1_l2_bus: BusConfig::baseline_l1_l2(),
+            memory_bus: BusConfig::baseline_memory(),
+            memory: MemoryModel::Sdram(SdramConfig::baseline()),
+            fidelity: FidelityConfig::microlib(),
+        }
+    }
+
+    /// Baseline hierarchy but with the constant 70-cycle SimpleScalar memory
+    /// (the validation setup of §2.2).
+    pub fn baseline_constant_memory() -> Self {
+        SystemConfig {
+            memory: MemoryModel::simplescalar_70(),
+            ..Self::baseline()
+        }
+    }
+
+    /// Validates every component configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ConfigError`] found in any component.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        self.core.validate()?;
+        self.l1d.validate()?;
+        self.l1i.validate()?;
+        self.l2.validate()?;
+        if self.l1d.line_bytes > self.l2.line_bytes {
+            return Err(ConfigError::new(
+                "L1 line size must not exceed L2 line size (inclusive fills)",
+            ));
+        }
+        if let MemoryModel::Sdram(sdram) = &self.memory {
+            sdram.validate()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+/// An invalid configuration was supplied.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates an error with the given explanation.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_1() {
+        let cfg = SystemConfig::baseline();
+        cfg.validate().unwrap();
+        assert_eq!(cfg.core.ruu_entries, 128);
+        assert_eq!(cfg.core.lsq_entries, 128);
+        assert_eq!(cfg.core.fetch_width, 8);
+        assert_eq!(cfg.l1d.size_bytes, 32 * 1024);
+        assert_eq!(cfg.l1d.assoc, 1);
+        assert_eq!(cfg.l1d.line_bytes, 32);
+        assert_eq!(cfg.l1d.ports, 4);
+        assert_eq!(cfg.l1d.mshr_entries, 8);
+        assert_eq!(cfg.l1d.mshr_reads_per_entry, 4);
+        assert_eq!(cfg.l1d.latency, 1);
+        assert_eq!(cfg.l1i.assoc, 4);
+        assert_eq!(cfg.l2.size_bytes, 1024 * 1024);
+        assert_eq!(cfg.l2.assoc, 4);
+        assert_eq!(cfg.l2.line_bytes, 64);
+        assert_eq!(cfg.l2.ports, 1);
+        assert_eq!(cfg.l2.latency, 12);
+        assert_eq!(cfg.memory_bus.width_bytes, 64);
+        assert_eq!(cfg.memory_bus.cpu_cycles_per_beat, 5);
+        match cfg.memory {
+            MemoryModel::Sdram(s) => {
+                assert_eq!(s.banks, 4);
+                assert_eq!(s.rows, 8192);
+                assert_eq!(s.columns, 1024);
+                assert_eq!(s.t_rrd, 20);
+                assert_eq!(s.t_ras, 80);
+                assert_eq!(s.t_rcd, 30);
+                assert_eq!(s.cas, 30);
+                assert_eq!(s.t_rp, 30);
+                assert_eq!(s.t_rc, 110);
+                assert_eq!(s.queue_entries, 32);
+            }
+            _ => panic!("baseline memory must be SDRAM"),
+        }
+    }
+
+    #[test]
+    fn cache_geometry_derivation() {
+        let l1 = CacheConfig::baseline_l1d();
+        assert_eq!(l1.lines(), 1024);
+        assert_eq!(l1.ways(), 1);
+        assert_eq!(l1.sets(), 1024);
+        let l2 = CacheConfig::baseline_l2();
+        assert_eq!(l2.lines(), 16384);
+        assert_eq!(l2.ways(), 4);
+        assert_eq!(l2.sets(), 4096);
+        let fa = CacheConfig {
+            assoc: 0,
+            size_bytes: 512,
+            ..CacheConfig::baseline_l1d()
+        };
+        assert_eq!(fa.ways(), 16);
+        assert_eq!(fa.sets(), 1);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut bad = CacheConfig::baseline_l1d();
+        bad.line_bytes = 48;
+        assert!(bad.validate().is_err());
+
+        let mut bad = CacheConfig::baseline_l1d();
+        bad.size_bytes = 1000;
+        assert!(bad.validate().is_err());
+
+        let mut bad = CacheConfig::baseline_l1d();
+        bad.ports = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad = SdramConfig::baseline();
+        bad.t_rc = 10;
+        assert!(bad.validate().is_err());
+
+        let mut bad = CoreConfig::baseline();
+        bad.issue_width = 0;
+        assert!(bad.validate().is_err());
+
+        let mut bad_sys = SystemConfig::baseline();
+        bad_sys.l1d.line_bytes = 64;
+        bad_sys.l2.line_bytes = 32;
+        assert!(bad_sys.validate().is_err());
+    }
+
+    #[test]
+    fn bus_arithmetic() {
+        let mem = BusConfig::baseline_memory();
+        assert_eq!(mem.beats_for(64), 1);
+        assert_eq!(mem.cycles_for(64), 5);
+        let l1l2 = BusConfig::baseline_l1_l2();
+        assert_eq!(l1l2.cycles_for(64), 2);
+        assert_eq!(l1l2.cycles_for(32), 1);
+        assert_eq!(l1l2.cycles_for(33), 2);
+    }
+
+    #[test]
+    fn fidelity_presets() {
+        let detailed = FidelityConfig::microlib();
+        assert!(detailed.finite_mshr && detailed.pipeline_stalls);
+        assert!(detailed.lsq_backpressure && detailed.refill_uses_port);
+        let ideal = FidelityConfig::simplescalar_like();
+        assert!(!ideal.finite_mshr && !ideal.pipeline_stalls);
+        assert!(!ideal.lsq_backpressure && !ideal.refill_uses_port);
+    }
+
+    #[test]
+    fn memory_model_labels() {
+        assert_eq!(MemoryModel::simplescalar_70().label(), "constant-70");
+        assert_eq!(MemoryModel::Sdram(SdramConfig::baseline()).label(), "sdram-170");
+        assert_eq!(
+            MemoryModel::Sdram(SdramConfig::scaled_to_70_cycles()).label(),
+            "sdram-70"
+        );
+    }
+
+    #[test]
+    fn scaled_sdram_is_faster() {
+        let base = SdramConfig::baseline();
+        let fast = SdramConfig::scaled_to_70_cycles();
+        fast.validate().unwrap();
+        assert!(fast.cas < base.cas);
+        assert!(fast.t_rc < base.t_rc);
+    }
+
+    #[test]
+    fn config_error_display() {
+        let e = ConfigError::new("boom");
+        assert_eq!(e.to_string(), "invalid configuration: boom");
+    }
+}

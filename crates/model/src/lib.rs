@@ -1,0 +1,52 @@
+//! # microlib-model
+//!
+//! Shared vocabulary of the MicroLib reproduction (Gracia Pérez, Mouchard,
+//! Temam — *MicroLib: A Case for the Quantitative Comparison of
+//! Micro-Architecture Mechanisms*, MICRO 2004).
+//!
+//! This crate defines everything a simulator component and a cache
+//! *mechanism* need to talk to each other without depending on each other's
+//! implementation — the library's modularity argument in type form:
+//!
+//! - value types: [`Addr`], [`Cycle`], [`LineData`], [`AccessKind`];
+//! - cache↔mechanism events: [`AccessEvent`], [`EvictEvent`],
+//!   [`RefillEvent`], [`ProbeResult`], [`PrefetchQueue`];
+//! - the [`Mechanism`] trait itself plus [`HardwareBudget`] for cost models;
+//! - configuration for every component, defaulting to the paper's Table 1
+//!   ([`SystemConfig::baseline`]);
+//! - statistics primitives ([`CacheStats`], [`MemoryStats`],
+//!   [`PerfSummary`]).
+//!
+//! # Examples
+//!
+//! ```
+//! use microlib_model::{PerfSummary, SystemConfig};
+//!
+//! let cfg = SystemConfig::baseline();
+//! assert_eq!(cfg.l1d.size_bytes, 32 * 1024);
+//!
+//! let run = PerfSummary { instructions: 1_000, cycles: 800 };
+//! assert!(run.ipc() > 1.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod config;
+pub mod event;
+pub mod mechanism;
+pub mod stats;
+pub mod types;
+
+pub use config::{
+    AllocPolicy, BankInterleave, BusConfig, CacheConfig, ConfigError, CoreConfig, FidelityConfig,
+    MemoryModel, Replacement, SdramConfig, SdramSchedule, SystemConfig, WritePolicy,
+};
+pub use event::{
+    AccessEvent, AccessOutcome, EvictEvent, PrefetchDestination, PrefetchQueue,
+    PrefetchQueueStats, PrefetchRequest, ProbeResult, RefillCause, RefillEvent, Spill,
+    VictimAction,
+};
+pub use mechanism::{BaseMechanism, HardwareBudget, Mechanism, MechanismStats, SramTable};
+pub use stats::{CacheStats, MemoryStats, PerfSummary};
+pub use types::{AccessKind, Addr, AttachPoint, Cycle, LineData};

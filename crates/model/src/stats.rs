@@ -1,0 +1,232 @@
+//! Statistics primitives shared across components: cache counters, memory
+//! counters, and the derived metrics (IPC, miss ratio, speedup) the paper
+//! reports.
+
+use std::fmt;
+
+/// Counters accumulated by one cache level.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct CacheStats {
+    /// Demand load accesses.
+    pub loads: u64,
+    /// Demand store accesses.
+    pub stores: u64,
+    /// Demand misses (loads + stores).
+    pub misses: u64,
+    /// Misses serviced by mechanism sidecar storage.
+    pub sidecar_hits: u64,
+    /// Misses merged into an existing MSHR entry.
+    pub mshr_merges: u64,
+    /// Cycles a request stalled because every MSHR was busy or full.
+    pub mshr_full_stalls: u64,
+    /// Cycles a request stalled on a cache-pipeline hazard.
+    pub pipeline_stalls: u64,
+    /// Cycles a request stalled because no port was free.
+    pub port_stalls: u64,
+    /// Lines filled (demand).
+    pub demand_fills: u64,
+    /// Lines filled (prefetch).
+    pub prefetch_fills: u64,
+    /// Prefetched lines that saw a later demand hit.
+    pub useful_prefetches: u64,
+    /// Dirty victims written back.
+    pub writebacks: u64,
+    /// Evictions of prefetched-but-never-used lines.
+    pub useless_prefetch_evictions: u64,
+}
+
+impl CacheStats {
+    /// Total demand accesses.
+    pub fn accesses(&self) -> u64 {
+        self.loads + self.stores
+    }
+
+    /// Demand miss ratio, if any access occurred.
+    pub fn miss_ratio(&self) -> Option<f64> {
+        let a = self.accesses();
+        (a > 0).then(|| self.misses as f64 / a as f64)
+    }
+
+    /// Fraction of prefetch fills that turned out useful.
+    pub fn prefetch_accuracy(&self) -> Option<f64> {
+        (self.prefetch_fills > 0).then(|| self.useful_prefetches as f64 / self.prefetch_fills as f64)
+    }
+}
+
+/// Counters accumulated by the main-memory model.
+#[derive(Clone, Copy, Default, PartialEq, Eq, Debug)]
+pub struct MemoryStats {
+    /// Requests serviced.
+    pub requests: u64,
+    /// Sum of request latencies (CPU cycles), for averaging.
+    pub total_latency: u64,
+    /// Row-buffer hits (SDRAM only).
+    pub row_hits: u64,
+    /// Row conflicts requiring precharge (SDRAM only).
+    pub precharges: u64,
+    /// Cycles the memory bus was busy.
+    pub bus_busy_cycles: u64,
+    /// Cycles at least one request waited in the controller queue.
+    pub queue_wait_cycles: u64,
+}
+
+impl MemoryStats {
+    /// Mean request latency in CPU cycles.
+    pub fn average_latency(&self) -> Option<f64> {
+        (self.requests > 0).then(|| self.total_latency as f64 / self.requests as f64)
+    }
+
+    /// Row-buffer hit ratio.
+    pub fn row_hit_ratio(&self) -> Option<f64> {
+        (self.requests > 0).then(|| self.row_hits as f64 / self.requests as f64)
+    }
+}
+
+/// End-of-run performance summary for one simulation.
+#[derive(Clone, Copy, Default, PartialEq, Debug)]
+pub struct PerfSummary {
+    /// Instructions committed.
+    pub instructions: u64,
+    /// Cycles elapsed.
+    pub cycles: u64,
+}
+
+impl PerfSummary {
+    /// Instructions per cycle.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use microlib_model::PerfSummary;
+    ///
+    /// let p = PerfSummary { instructions: 300, cycles: 150 };
+    /// assert!((p.ipc() - 2.0).abs() < 1e-12);
+    /// ```
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Speedup of `self` relative to `baseline` (ratio of IPCs, the metric
+    /// of Figs 2–4 and 6–11).
+    pub fn speedup_over(&self, baseline: &PerfSummary) -> f64 {
+        let base = baseline.ipc();
+        if base == 0.0 {
+            0.0
+        } else {
+            self.ipc() / base
+        }
+    }
+}
+
+impl fmt::Display for PerfSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instructions in {} cycles (IPC {:.3})",
+            self.instructions,
+            self.cycles,
+            self.ipc()
+        )
+    }
+}
+
+/// Geometric mean of a slice of positive values (used for speedup averages
+/// where indicated; the paper's averages over benchmarks are arithmetic,
+/// which [`mean`] provides).
+///
+/// # Examples
+///
+/// ```
+/// use microlib_model::stats::{geometric_mean, mean};
+///
+/// assert!((geometric_mean(&[1.0, 4.0]).unwrap() - 2.0).abs() < 1e-12);
+/// assert!((mean(&[1.0, 3.0]).unwrap() - 2.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|v| *v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Arithmetic mean of a slice.
+pub fn mean(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    Some(values.iter().sum::<f64>() / values.len() as f64)
+}
+
+/// Sample standard deviation of a slice (n−1 denominator).
+pub fn std_dev(values: &[f64]) -> Option<f64> {
+    if values.len() < 2 {
+        return None;
+    }
+    let m = mean(values)?;
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / (values.len() - 1) as f64;
+    Some(var.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_stats_ratios() {
+        let s = CacheStats {
+            loads: 60,
+            stores: 40,
+            misses: 25,
+            prefetch_fills: 10,
+            useful_prefetches: 4,
+            ..CacheStats::default()
+        };
+        assert_eq!(s.accesses(), 100);
+        assert!((s.miss_ratio().unwrap() - 0.25).abs() < 1e-12);
+        assert!((s.prefetch_accuracy().unwrap() - 0.4).abs() < 1e-12);
+        assert!(CacheStats::default().miss_ratio().is_none());
+    }
+
+    #[test]
+    fn memory_stats_latency() {
+        let s = MemoryStats {
+            requests: 4,
+            total_latency: 700,
+            row_hits: 1,
+            ..MemoryStats::default()
+        };
+        assert!((s.average_latency().unwrap() - 175.0).abs() < 1e-12);
+        assert!((s.row_hit_ratio().unwrap() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perf_summary_speedup() {
+        let base = PerfSummary {
+            instructions: 1000,
+            cycles: 1000,
+        };
+        let fast = PerfSummary {
+            instructions: 1000,
+            cycles: 500,
+        };
+        assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
+        assert!((base.speedup_over(&base) - 1.0).abs() < 1e-12);
+        assert_eq!(PerfSummary::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn means() {
+        assert!(mean(&[]).is_none());
+        assert!(geometric_mean(&[]).is_none());
+        assert!(geometric_mean(&[0.0]).is_none());
+        assert!((mean(&[2.0, 4.0]).unwrap() - 3.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+        assert!(std_dev(&[1.0]).is_none());
+        assert!((std_dev(&[1.0, 3.0]).unwrap() - std::f64::consts::SQRT_2).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,191 @@
+//! Basic-block vector (BBV) profiling — the front half of SimPoint
+//! (Sherwood et al., ASPLOS 2002), which the paper uses for trace selection.
+//!
+//! The profiler splits the dynamic instruction stream into fixed-size
+//! intervals and counts, per interval, how many instructions execute in
+//! each static basic block. Intervals with similar vectors execute similar
+//! code — the clustering half ([`crate::simpoint`]) exploits that.
+
+use crate::inst::{OpClass, TraceInst};
+use std::collections::HashMap;
+
+/// One interval's basic-block execution profile.
+#[derive(Clone, Debug, Default)]
+pub struct BbvInterval {
+    /// Instructions attributed to each basic-block start PC.
+    counts: HashMap<u64, u64>,
+    /// Total instructions in the interval.
+    total: u64,
+}
+
+impl BbvInterval {
+    /// Instructions attributed to block `pc`.
+    pub fn count(&self, pc: u64) -> u64 {
+        self.counts.get(&pc).copied().unwrap_or(0)
+    }
+
+    /// Total instructions profiled in the interval.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterates (block pc, count).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(k, v)| (*k, *v))
+    }
+}
+
+/// Streams instructions into per-interval basic-block vectors.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_trace::{benchmarks, BbvProfiler, Workload};
+///
+/// let w = Workload::new(benchmarks::by_name("gcc").unwrap(), 1);
+/// let mut profiler = BbvProfiler::new(1_000);
+/// for inst in w.stream().take(10_000) {
+///     profiler.observe(&inst);
+/// }
+/// let intervals = profiler.finish();
+/// assert_eq!(intervals.len(), 10);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BbvProfiler {
+    interval_len: u64,
+    current: BbvInterval,
+    current_block: Option<u64>,
+    at_block_start: bool,
+    done: Vec<BbvInterval>,
+}
+
+impl BbvProfiler {
+    /// Creates a profiler with `interval_len` instructions per interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval_len` is zero.
+    pub fn new(interval_len: u64) -> Self {
+        assert!(interval_len > 0, "interval length must be positive");
+        BbvProfiler {
+            interval_len,
+            current: BbvInterval::default(),
+            current_block: None,
+            at_block_start: true,
+            done: Vec::new(),
+        }
+    }
+
+    /// Feeds one instruction.
+    pub fn observe(&mut self, inst: &TraceInst) {
+        if self.at_block_start {
+            self.current_block = Some(inst.pc.raw());
+            self.at_block_start = false;
+        }
+        if let Some(block) = self.current_block {
+            *self.current.counts.entry(block).or_insert(0) += 1;
+        }
+        self.current.total += 1;
+        if inst.op == OpClass::Branch {
+            self.at_block_start = true;
+        }
+        if self.current.total >= self.interval_len {
+            self.done.push(std::mem::take(&mut self.current));
+        }
+    }
+
+    /// Completed intervals so far (not including a partial one in flight).
+    pub fn intervals(&self) -> &[BbvInterval] {
+        &self.done
+    }
+
+    /// Finishes profiling, returning all completed intervals (a trailing
+    /// partial interval is discarded, as in SimPoint practice).
+    pub fn finish(self) -> Vec<BbvInterval> {
+        self.done
+    }
+
+    /// Converts intervals into dense, L1-normalized feature vectors over
+    /// the union of observed blocks (sorted by PC for determinism).
+    pub fn to_matrix(intervals: &[BbvInterval]) -> Vec<Vec<f64>> {
+        let mut blocks: Vec<u64> = intervals
+            .iter()
+            .flat_map(|iv| iv.counts.keys().copied())
+            .collect();
+        blocks.sort_unstable();
+        blocks.dedup();
+        intervals
+            .iter()
+            .map(|iv| {
+                let total = iv.total.max(1) as f64;
+                blocks
+                    .iter()
+                    .map(|b| iv.count(*b) as f64 / total)
+                    .collect()
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+    use crate::workload::Workload;
+
+    #[test]
+    fn intervals_have_fixed_length() {
+        let w = Workload::new(benchmarks::by_name("swim").unwrap(), 2);
+        let mut p = BbvProfiler::new(500);
+        for inst in w.stream().take(2600) {
+            p.observe(&inst);
+        }
+        let ivs = p.finish();
+        assert_eq!(ivs.len(), 5, "partial interval discarded");
+        assert!(ivs.iter().all(|iv| iv.total() == 500));
+    }
+
+    #[test]
+    fn vectors_are_normalized() {
+        let w = Workload::new(benchmarks::by_name("gcc").unwrap(), 3);
+        let mut p = BbvProfiler::new(1000);
+        for inst in w.stream().take(5000) {
+            p.observe(&inst);
+        }
+        let m = BbvProfiler::to_matrix(p.intervals());
+        for row in &m {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-9, "row sums to {sum}");
+        }
+    }
+
+    #[test]
+    fn different_phases_have_different_vectors() {
+        // gcc alternates phases every 25k instructions; intervals from
+        // different phases must differ much more than intervals from the
+        // same phase.
+        let w = Workload::new(benchmarks::by_name("gcc").unwrap(), 4);
+        let mut p = BbvProfiler::new(25_000);
+        for inst in w.stream().take(100_000) {
+            p.observe(&inst);
+        }
+        let m = BbvProfiler::to_matrix(p.intervals());
+        assert!(m.len() >= 4);
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
+        };
+        // Pattern is [0,1,2,1]: intervals 1 and 3 share a phase.
+        let same = dist(&m[1], &m[3]);
+        let cross = dist(&m[0], &m[1]);
+        assert!(
+            cross > same * 2.0,
+            "cross-phase distance {cross} should dwarf same-phase {same}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_rejected() {
+        BbvProfiler::new(0);
+    }
+}

@@ -1,0 +1,187 @@
+//! The trace instruction format consumed by the out-of-order core.
+//!
+//! Traces are *dependency-explicit*: each instruction names its source
+//! producers by backward distance in the instruction stream, which is what
+//! an out-of-order core sees after perfect register renaming (renaming
+//! removes false dependences, so true dataflow plus resources is exactly
+//! what determines scheduling).
+
+use microlib_model::Addr;
+
+/// Functional class of an instruction (drives functional-unit selection and
+/// latency in the core model).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpClass {
+    /// Integer ALU operation (1 cycle).
+    IntAlu,
+    /// Integer multiply (3 cycles, pipelined).
+    IntMult,
+    /// Integer divide (20 cycles, unpipelined).
+    IntDiv,
+    /// Floating-point add/compare (2 cycles, pipelined).
+    FpAlu,
+    /// Floating-point multiply (4 cycles, pipelined).
+    FpMult,
+    /// Floating-point divide (12 cycles, unpipelined).
+    FpDiv,
+    /// Data load (address in [`TraceInst::mem`]).
+    Load,
+    /// Data store (address and value in [`TraceInst::mem`]).
+    Store,
+    /// Control transfer (outcome in [`TraceInst::branch`]).
+    Branch,
+}
+
+impl OpClass {
+    /// Whether the class accesses data memory.
+    pub fn is_mem(self) -> bool {
+        matches!(self, OpClass::Load | OpClass::Store)
+    }
+
+    /// Whether the class is a floating-point operation.
+    pub fn is_fp(self) -> bool {
+        matches!(self, OpClass::FpAlu | OpClass::FpMult | OpClass::FpDiv)
+    }
+}
+
+/// A data-memory reference attached to a load or store.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MemRef {
+    /// Byte address (8-byte aligned in generated workloads).
+    pub addr: Addr,
+    /// Whether this is a store.
+    pub is_store: bool,
+    /// Value stored (ignored for loads; the hierarchy supplies load values).
+    pub value: u64,
+}
+
+/// Branch outcome information attached to a branch instruction.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BranchInfo {
+    /// Whether the branch is taken.
+    pub taken: bool,
+    /// Target address when taken (the next sequential PC otherwise).
+    pub target: Addr,
+    /// Whether the (modelled) branch predictor mispredicts this instance;
+    /// the core stalls fetch until the branch resolves, then pays the
+    /// front-end refill penalty.
+    pub mispredicted: bool,
+}
+
+/// One dynamic instruction of a workload trace.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_model::Addr;
+/// use microlib_trace::{OpClass, TraceInst};
+///
+/// let inst = TraceInst::alu(Addr::new(0x400000), OpClass::IntAlu, [Some(1), None]);
+/// assert_eq!(inst.op, OpClass::IntAlu);
+/// assert!(inst.mem.is_none());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceInst {
+    /// Program counter.
+    pub pc: Addr,
+    /// Functional class.
+    pub op: OpClass,
+    /// Backward distances to producer instructions (1 = the immediately
+    /// preceding instruction). `None` slots are unused.
+    pub src_deps: [Option<u32>; 2],
+    /// Memory reference for loads/stores.
+    pub mem: Option<MemRef>,
+    /// Branch outcome for branches.
+    pub branch: Option<BranchInfo>,
+}
+
+impl TraceInst {
+    /// Builds a non-memory, non-branch instruction.
+    pub fn alu(pc: Addr, op: OpClass, src_deps: [Option<u32>; 2]) -> Self {
+        debug_assert!(!op.is_mem() && op != OpClass::Branch);
+        TraceInst {
+            pc,
+            op,
+            src_deps,
+            mem: None,
+            branch: None,
+        }
+    }
+
+    /// Builds a load from `addr`.
+    pub fn load(pc: Addr, addr: Addr, src_deps: [Option<u32>; 2]) -> Self {
+        TraceInst {
+            pc,
+            op: OpClass::Load,
+            src_deps,
+            mem: Some(MemRef {
+                addr,
+                is_store: false,
+                value: 0,
+            }),
+            branch: None,
+        }
+    }
+
+    /// Builds a store of `value` to `addr`.
+    pub fn store(pc: Addr, addr: Addr, value: u64, src_deps: [Option<u32>; 2]) -> Self {
+        TraceInst {
+            pc,
+            op: OpClass::Store,
+            src_deps,
+            mem: Some(MemRef {
+                addr,
+                is_store: true,
+                value,
+            }),
+            branch: None,
+        }
+    }
+
+    /// Builds a branch.
+    pub fn branch(pc: Addr, info: BranchInfo, src_deps: [Option<u32>; 2]) -> Self {
+        TraceInst {
+            pc,
+            op: OpClass::Branch,
+            src_deps,
+            mem: None,
+            branch: Some(info),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_classes() {
+        let pc = Addr::new(0x400100);
+        let l = TraceInst::load(pc, Addr::new(0x1000), [None, None]);
+        assert_eq!(l.op, OpClass::Load);
+        assert!(!l.mem.unwrap().is_store);
+        let s = TraceInst::store(pc, Addr::new(0x1008), 5, [Some(1), None]);
+        assert!(s.mem.unwrap().is_store);
+        assert_eq!(s.mem.unwrap().value, 5);
+        let b = TraceInst::branch(
+            pc,
+            BranchInfo {
+                taken: true,
+                target: Addr::new(0x400000),
+                mispredicted: false,
+            },
+            [None, None],
+        );
+        assert_eq!(b.op, OpClass::Branch);
+        assert!(b.branch.unwrap().taken);
+    }
+
+    #[test]
+    fn op_class_predicates() {
+        assert!(OpClass::Load.is_mem());
+        assert!(OpClass::Store.is_mem());
+        assert!(!OpClass::IntAlu.is_mem());
+        assert!(OpClass::FpMult.is_fp());
+        assert!(!OpClass::IntMult.is_fp());
+    }
+}

@@ -1,0 +1,335 @@
+//! SimPoint trace selection (Sherwood et al., ASPLOS 2002): random
+//! projection of basic-block vectors, k-means clustering with a BIC-style
+//! model-selection rule, and representative-interval extraction.
+//!
+//! The paper simulates "a 500-million instruction trace, skipping up to the
+//! first SimPoint"; our scaled equivalent picks representative intervals of
+//! the synthetic workloads the same way and Fig 11 compares the result
+//! against arbitrary skip/simulate windows.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A selected simulation point.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SimPoint {
+    /// Index of the representative interval in the profiled stream.
+    pub interval: usize,
+    /// Fraction of all intervals its cluster covers (results are weighted
+    /// by this).
+    pub weight: f64,
+}
+
+/// Result of a k-means run.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Cluster index per point.
+    pub assignment: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Randomly projects `vectors` down to `dims` dimensions (SimPoint uses 15).
+///
+/// # Examples
+///
+/// ```
+/// use microlib_trace::simpoint::project;
+///
+/// let data = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]];
+/// let low = project(&data, 2, 42);
+/// assert_eq!(low.len(), 2);
+/// assert_eq!(low[0].len(), 2);
+/// ```
+pub fn project(vectors: &[Vec<f64>], dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let input_dims = vectors[0].len();
+    if input_dims <= dims {
+        return vectors.to_vec();
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // Dense Gaussian-ish projection via sum of uniforms.
+    let matrix: Vec<Vec<f64>> = (0..input_dims)
+        .map(|_| (0..dims).map(|_| rng.gen::<f64>() * 2.0 - 1.0).collect())
+        .collect();
+    vectors
+        .iter()
+        .map(|v| {
+            let mut out = vec![0.0; dims];
+            for (x, row) in v.iter().zip(&matrix) {
+                if *x != 0.0 {
+                    for (o, m) in out.iter_mut().zip(row) {
+                        *o += x * m;
+                    }
+                }
+            }
+            out
+        })
+        .collect()
+}
+
+/// Runs k-means (k-means++ seeding, fixed iteration cap) on `points`.
+///
+/// # Panics
+///
+/// Panics if `k` is zero or exceeds the number of points.
+pub fn kmeans(points: &[Vec<f64>], k: usize, seed: u64) -> KMeans {
+    assert!(k >= 1 && k <= points.len(), "k={k} out of range");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..points.len())].clone());
+    while centroids.len() < k {
+        let dists: Vec<f64> = points
+            .iter()
+            .map(|p| {
+                centroids
+                    .iter()
+                    .map(|c| sq_dist(p, c))
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .collect();
+        let total: f64 = dists.iter().sum();
+        if total <= 0.0 {
+            centroids.push(points[rng.gen_range(0..points.len())].clone());
+            continue;
+        }
+        let mut pick = rng.gen::<f64>() * total;
+        let mut chosen = 0;
+        for (i, d) in dists.iter().enumerate() {
+            pick -= d;
+            if pick <= 0.0 {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push(points[chosen].clone());
+    }
+
+    let mut assignment = vec![0usize; points.len()];
+    for _ in 0..50 {
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centroids[a])
+                        .partial_cmp(&sq_dist(p, &centroids[b]))
+                        .expect("finite distances")
+                })
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids.
+        let dims = points[0].len();
+        let mut sums = vec![vec![0.0; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (p, &a) in points.iter().zip(&assignment) {
+            counts[a] += 1;
+            for (s, x) in sums[a].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                *c = sum.iter().map(|s| s / *count as f64).collect();
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .zip(&assignment)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeans {
+        assignment,
+        centroids,
+        inertia,
+    }
+}
+
+/// BIC-style score for a clustering (higher is better): log-likelihood under
+/// a spherical-Gaussian model minus a complexity penalty.
+pub fn bic_score(points: &[Vec<f64>], km: &KMeans) -> f64 {
+    let n = points.len() as f64;
+    let d = points[0].len() as f64;
+    let k = km.centroids.len() as f64;
+    let variance = (km.inertia / (n * d).max(1.0)).max(1e-12);
+    let log_likelihood = -0.5 * n * d * (variance.ln() + 1.0);
+    let params = k * (d + 1.0);
+    log_likelihood - 0.5 * params * n.ln()
+}
+
+/// Chooses simulation points from profiled interval vectors: projects to 15
+/// dimensions, tries k = 1..=`max_k`, keeps the smallest k whose BIC reaches
+/// 90% of the best observed (SimPoint's rule), and returns the interval
+/// closest to each centroid with its cluster weight.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_trace::simpoint::choose_simpoints;
+///
+/// let vectors = vec![
+///     vec![1.0, 0.0], vec![0.9, 0.1], // cluster A
+///     vec![0.0, 1.0], vec![0.1, 0.9], // cluster B
+/// ];
+/// let points = choose_simpoints(&vectors, 3, 7);
+/// assert!(!points.is_empty());
+/// let total: f64 = points.iter().map(|p| p.weight).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// ```
+pub fn choose_simpoints(vectors: &[Vec<f64>], max_k: usize, seed: u64) -> Vec<SimPoint> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let projected = project(vectors, 15, seed);
+    let max_k = max_k.clamp(1, projected.len());
+    let runs: Vec<KMeans> = (1..=max_k)
+        .map(|k| kmeans(&projected, k, seed ^ (k as u64) << 32))
+        .collect();
+    let scores: Vec<f64> = runs.iter().map(|r| bic_score(&projected, r)).collect();
+    let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let worst = scores.iter().cloned().fold(f64::INFINITY, f64::min);
+    let threshold = if best > worst {
+        worst + 0.9 * (best - worst)
+    } else {
+        best
+    };
+    let chosen = scores
+        .iter()
+        .position(|s| *s >= threshold)
+        .unwrap_or(scores.len() - 1);
+    let km = &runs[chosen];
+
+    let total = projected.len() as f64;
+    (0..km.centroids.len())
+        .filter_map(|c| {
+            let members: Vec<usize> = km
+                .assignment
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| **a == c)
+                .map(|(i, _)| i)
+                .collect();
+            if members.is_empty() {
+                return None;
+            }
+            let rep = members
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    sq_dist(&projected[a], &km.centroids[c])
+                        .partial_cmp(&sq_dist(&projected[b], &km.centroids[c]))
+                        .expect("finite")
+                })
+                .expect("nonempty");
+            Some(SimPoint {
+                interval: rep,
+                weight: members.len() as f64 / total,
+            })
+        })
+        .collect()
+}
+
+/// The single most representative interval (largest-weight simpoint) — the
+/// paper's "skipping up to the first SimPoint" uses one point per program.
+pub fn primary_simpoint(vectors: &[Vec<f64>], max_k: usize, seed: u64) -> Option<SimPoint> {
+    choose_simpoints(vectors, max_k, seed)
+        .into_iter()
+        .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs() -> Vec<Vec<f64>> {
+        let mut v = Vec::new();
+        for i in 0..10 {
+            v.push(vec![1.0 + 0.01 * i as f64, 0.0]);
+            v.push(vec![0.0, 1.0 + 0.01 * i as f64]);
+        }
+        v
+    }
+
+    #[test]
+    fn kmeans_separates_blobs() {
+        let points = two_blobs();
+        let km = kmeans(&points, 2, 1);
+        // All even indices together, all odd together.
+        let a = km.assignment[0];
+        for i in (0..20).step_by(2) {
+            assert_eq!(km.assignment[i], a);
+        }
+        assert_ne!(km.assignment[1], a);
+        // Within-blob spread only: 2 blobs x sum((0.01*i - mean)^2) ~ 0.0165.
+        assert!(km.inertia < 0.05, "inertia {} too large", km.inertia);
+    }
+
+    #[test]
+    fn kmeans_k1_centroid_is_mean() {
+        let points = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let km = kmeans(&points, 1, 3);
+        assert!((km.centroids[0][0] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn simpoints_weights_sum_to_one() {
+        let pts = choose_simpoints(&two_blobs(), 4, 9);
+        let total: f64 = pts.iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(pts.len() >= 2, "two blobs need two simpoints, got {}", pts.len());
+    }
+
+    #[test]
+    fn primary_simpoint_is_heaviest() {
+        let mut v = two_blobs();
+        // Make blob A three times heavier.
+        for i in 0..20 {
+            v.push(vec![1.0 + 0.001 * i as f64, 0.0]);
+        }
+        let primary = primary_simpoint(&v, 4, 5).unwrap();
+        // Heaviest cluster is blob A (index with x ~ 1.0).
+        assert!(v[primary.interval][0] > 0.5);
+        assert!(primary.weight > 0.5);
+    }
+
+    #[test]
+    fn projection_preserves_count_and_dims() {
+        let data: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64; 40]).collect();
+        let low = project(&data, 15, 11);
+        assert_eq!(low.len(), 8);
+        assert!(low.iter().all(|v| v.len() == 15));
+        // Low-dimensional inputs pass through.
+        let tiny = vec![vec![1.0, 2.0]];
+        assert_eq!(project(&tiny, 15, 11), tiny);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts = two_blobs();
+        let a = choose_simpoints(&pts, 4, 77);
+        let b = choose_simpoints(&pts, 4, 77);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn kmeans_rejects_bad_k() {
+        kmeans(&[vec![1.0]], 2, 0);
+    }
+}

@@ -1,0 +1,43 @@
+//! Quickstart: simulate one benchmark on the Table 1 baseline, attach the
+//! best mechanism of the study (GHB), and compare.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use microlib::{run_one, SimOptions};
+use microlib_mech::MechanismKind;
+use microlib_model::SystemConfig;
+use microlib_trace::TraceWindow;
+
+fn main() -> Result<(), microlib::SimError> {
+    // The paper's baseline processor + memory hierarchy (Table 1).
+    let config = SystemConfig::baseline();
+
+    // Warm 50k instructions functionally, simulate 30k in detail.
+    let opts = SimOptions {
+        window: TraceWindow::new(50_000, 30_000),
+        ..SimOptions::default()
+    };
+
+    let base = run_one(&config, MechanismKind::Base, "swim", &opts)?;
+    let ghb = run_one(&config, MechanismKind::Ghb, "swim", &opts)?;
+
+    println!("benchmark: swim (synthetic SPEC CPU2000 profile)");
+    println!("baseline : {}", base.perf);
+    println!("with GHB : {}", ghb.perf);
+    println!("speedup  : {:.3}", ghb.perf.speedup_over(&base.perf));
+    println!();
+    println!(
+        "L2 misses: {} -> {} (prefetch fills {}, {:.0}% useful)",
+        base.l2.misses,
+        ghb.l2.misses,
+        ghb.l2.prefetch_fills,
+        ghb.l2.prefetch_accuracy().unwrap_or(0.0) * 100.0
+    );
+    println!(
+        "GHB adds {} bytes of table state",
+        ghb.hardware.total_bytes()
+    );
+    Ok(())
+}

@@ -1,0 +1,8 @@
+//! Umbrella package for the MicroLib reproduction repository.
+//!
+//! The actual library lives in the [`microlib`] crate (and the substrate
+//! crates it re-exports). This package only hosts the repository-level
+//! `examples/` and `tests/` directories; it re-exports the flagship crate so
+//! examples can simply `use microlib_suite as microlib` if they wish.
+
+pub use microlib::*;

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! end-to-end simulator invariants.
+
+use microlib_mech::{AssocTable, MechanismKind};
+use microlib_mem::{CacheArray, MemToken, MshrFile, MshrTarget, Sdram, SparseMemory};
+use microlib_model::{
+    Addr, CacheConfig, Cycle, LineData, PrefetchDestination, PrefetchQueue, PrefetchRequest,
+    SdramConfig, SystemConfig,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn small_cache() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 1024,
+        assoc: 2,
+        ..CacheConfig::baseline_l1d()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache never holds more lines than its capacity, never holds the
+    /// same line twice, and a just-filled line is always found.
+    #[test]
+    fn cache_array_capacity_and_uniqueness(addrs in prop::collection::vec(0u64..1u64 << 20, 1..200)) {
+        let mut cache = CacheArray::new(small_cache()).unwrap();
+        for a in &addrs {
+            let addr = Addr::new(a & !7);
+            if !cache.contains(addr) {
+                cache.fill(addr, LineData::zeroed(4), false, false);
+            }
+            prop_assert!(cache.contains(addr));
+        }
+        prop_assert!(cache.occupancy() <= 32); // 1 KB / 32 B
+        let mut lines: Vec<u64> = cache.resident_lines().map(Addr::raw).collect();
+        let total = lines.len();
+        lines.sort_unstable();
+        lines.dedup();
+        prop_assert_eq!(lines.len(), total, "duplicate resident line");
+    }
+
+    /// Set/tag decomposition round-trips for arbitrary addresses.
+    #[test]
+    fn cache_index_round_trip(addr in 0u64..u64::MAX / 2) {
+        let cache = CacheArray::new(CacheConfig::baseline_l1d()).unwrap();
+        let a = Addr::new(addr);
+        let (set, tag) = cache.index_of(a);
+        prop_assert_eq!(cache.address_of(set, tag), a.line(32));
+    }
+
+    /// Written words read back; unwritten words read zero.
+    #[test]
+    fn sparse_memory_read_your_writes(writes in prop::collection::vec((0u64..1u64 << 30, any::<u64>()), 1..100)) {
+        let mut mem = SparseMemory::new();
+        let mut model: HashMap<u64, u64> = HashMap::new();
+        for (addr, value) in &writes {
+            let aligned = addr & !7;
+            mem.write_word(Addr::new(aligned), *value);
+            model.insert(aligned, *value);
+        }
+        for (addr, value) in &model {
+            prop_assert_eq!(mem.read_word(Addr::new(*addr)), *value);
+        }
+        prop_assert_eq!(mem.read_word(Addr::new((1u64 << 40) + 8)), 0);
+    }
+
+    /// The MSHR file never exceeds its entry capacity and all accepted
+    /// targets come back exactly once at completion.
+    #[test]
+    fn mshr_occupancy_and_target_conservation(lines in prop::collection::vec(0u64..64, 1..100)) {
+        let mut mshr = MshrFile::new(4, 2);
+        mshr.set_model_busy_cycle(false);
+        let mut accepted = 0u64;
+        for (i, l) in lines.iter().enumerate() {
+            let line = Addr::new(l * 64);
+            let t = MshrTarget { req: None, addr: line, is_store: false, value: 0 };
+            if mshr.try_insert(line, t, false, false, Cycle::new(i as u64)).accepted() {
+                accepted += 1;
+            }
+            prop_assert!(mshr.len() <= 4);
+        }
+        // Drain and count targets.
+        let mut drained = 0u64;
+        for l in 0u64..64 {
+            if let Some(entry) = mshr.complete(Addr::new(l * 64)) {
+                drained += entry.targets.len() as u64;
+            }
+        }
+        prop_assert_eq!(drained, accepted, "targets lost or duplicated");
+    }
+
+    /// Prefetch queues never exceed capacity and FIFO order is preserved
+    /// among accepted requests.
+    #[test]
+    fn prefetch_queue_bounded_fifo(lines in prop::collection::vec(0u64..128, 1..200), cap in 1usize..32) {
+        let mut q = PrefetchQueue::new(cap);
+        let mut accepted = Vec::new();
+        for l in &lines {
+            let req = PrefetchRequest { line: Addr::new(l * 64), destination: PrefetchDestination::Cache };
+            if q.push(req) {
+                accepted.push(l * 64);
+            }
+            prop_assert!(q.len() <= cap);
+        }
+        let mut popped = Vec::new();
+        while let Some(r) = q.pop() {
+            popped.push(r.line.raw());
+        }
+        prop_assert_eq!(&popped[..], &accepted[..popped.len()], "FIFO violated");
+    }
+
+    /// Every transaction submitted to the SDRAM completes, and a row hit is
+    /// never slower than the same access after a conflict.
+    #[test]
+    fn sdram_completes_all_traffic(lines in prop::collection::vec(0u64..1u64 << 22, 1..40)) {
+        let mut mem = Sdram::new(SdramConfig::baseline());
+        let mut submitted = 0u64;
+        let mut done = 0u64;
+        let mut queue: Vec<u64> = lines.clone();
+        let mut now = 0u64;
+        while done < lines.len() as u64 && now < 1_000_000 {
+            if let Some(l) = queue.last().copied() {
+                if mem.try_push(MemToken(submitted), Addr::new(l * 64), false, Cycle::new(now)) {
+                    queue.pop();
+                    submitted += 1;
+                }
+            }
+            done += mem.tick(Cycle::new(now)).len() as u64;
+            now += 1;
+        }
+        prop_assert_eq!(done, lines.len() as u64, "SDRAM lost transactions");
+        prop_assert_eq!(mem.in_service_len(), 0);
+    }
+
+    /// The associative table's LRU keeps the most recently touched entry.
+    #[test]
+    fn assoc_table_keeps_mru(keys in prop::collection::vec(0u64..1000, 2..50)) {
+        let mut t: AssocTable<u64> = AssocTable::new(4, 0); // 4-entry fully assoc
+        for k in &keys {
+            t.insert(*k, *k);
+        }
+        let last = *keys.last().unwrap();
+        prop_assert!(t.contains(&last), "most recent insert must survive");
+    }
+
+    /// Workload streams are reproducible and causally well-formed for
+    /// arbitrary seeds.
+    #[test]
+    fn workload_streams_well_formed(seed in any::<u64>(), bench_idx in 0usize..26) {
+        use microlib_trace::{benchmarks, Workload};
+        let name = benchmarks::NAMES[bench_idx];
+        let w = Workload::new(benchmarks::by_name(name).unwrap(), seed);
+        let a: Vec<_> = w.stream().take(300).collect();
+        let b: Vec<_> = w.stream().take(300).collect();
+        prop_assert_eq!(&a, &b, "stream not reproducible");
+        for (i, inst) in a.iter().enumerate() {
+            for d in inst.src_deps.into_iter().flatten() {
+                prop_assert!(d >= 1 && d as usize <= i.max(1), "dep not causal at {i}");
+            }
+            if let Some(m) = inst.mem {
+                prop_assert_eq!(m.addr.raw() % 8, 0, "unaligned access");
+            }
+        }
+    }
+}
+
+proptest! {
+    // End-to-end cases are expensive; keep the case count low.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// For arbitrary seeds and mechanisms, a short end-to-end run commits
+    /// every instruction and never violates value integrity (run_one
+    /// returns Err on violation).
+    #[test]
+    fn end_to_end_integrity(seed in 0u64..1000, mech_idx in 0usize..13, bench_idx in 0usize..26) {
+        use microlib::{run_one, SimOptions};
+        use microlib_trace::{benchmarks, TraceWindow};
+        let kind = MechanismKind::study_set()[mech_idx];
+        let bench = benchmarks::NAMES[bench_idx];
+        let opts = SimOptions {
+            seed,
+            window: TraceWindow::new(2_000, 1_500),
+            ..SimOptions::default()
+        };
+        let r = run_one(&SystemConfig::baseline(), kind, bench, &opts);
+        match r {
+            Ok(result) => prop_assert_eq!(result.perf.instructions, 1_500),
+            Err(e) => return Err(TestCaseError::fail(format!("{bench}/{kind:?}/{seed}: {e}"))),
+        }
+    }
+}
