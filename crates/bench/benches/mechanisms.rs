@@ -16,7 +16,11 @@ fn access_event(i: u64) -> AccessEvent {
         addr: Addr::new(0x10_0000 + i * 64),
         line: Addr::new(0x10_0000 + i * 64),
         kind: AccessKind::Load,
-        outcome: if i % 3 == 0 { AccessOutcome::Miss } else { AccessOutcome::Hit },
+        outcome: if i.is_multiple_of(3) {
+            AccessOutcome::Miss
+        } else {
+            AccessOutcome::Hit
+        },
         first_touch_of_prefetch: false,
         value: Some(i),
     }

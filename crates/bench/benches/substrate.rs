@@ -117,5 +117,12 @@ fn end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, cache_array, mshr, sdram, workload_generation, end_to_end);
+criterion_group!(
+    benches,
+    cache_array,
+    mshr,
+    sdram,
+    workload_generation,
+    end_to_end
+);
 criterion_main!(benches);

@@ -1,59 +1,10 @@
-//! Ablation (extension beyond the paper's figures): Fig 1 toggles all four
-//! cache-fidelity hazards at once and Fig 9 isolates the MSHR; this harness
-//! ablates *each* of the §2.2 model differences individually, quantifying
-//! how much of the SimpleScalar-vs-MicroLib IPC gap each one explains.
-
-use microlib::report::text_table;
-use microlib::{run_one, SimOptions};
-use microlib_mech::MechanismKind;
-use microlib_model::{FidelityConfig, SystemConfig};
+//! Standalone entry point for the `ablation_fidelity` experiment; the body lives in
+//! [`microlib_bench::experiments::ablation_fidelity`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "ablation_fidelity",
-        "Extension: per-toggle fidelity ablation (beyond Fig 1/Fig 9)",
-        "Mean IPC over six representative benchmarks with one hazard removed at a time",
-    );
-    let benches = ["swim", "mgrid", "mcf", "gzip", "gcc", "crafty"];
-    let opts = SimOptions {
-        seed: microlib_bench::std_seed(),
-        window: microlib_bench::std_window(),
-        ..SimOptions::default()
-    };
-
-    let variants: [(&str, Box<dyn Fn(&mut FidelityConfig)>); 6] = [
-        ("detailed (MicroLib)", Box::new(|_| {})),
-        ("no finite MSHR", Box::new(|f| f.finite_mshr = false)),
-        ("no pipeline stalls", Box::new(|f| f.pipeline_stalls = false)),
-        ("no LSQ backpressure", Box::new(|f| f.lsq_backpressure = false)),
-        ("free refill ports", Box::new(|f| f.refill_uses_port = false)),
-        ("idealized (SimpleScalar-like)", Box::new(|f| *f = FidelityConfig::simplescalar_like())),
-    ];
-
-    let mut rows = Vec::new();
-    let mut detailed_mean = 0.0;
-    for (label, mutate) in &variants {
-        let mut cfg = SystemConfig::baseline_constant_memory();
-        mutate(&mut cfg.fidelity);
-        let mut ipcs = Vec::new();
-        for b in benches {
-            let r = run_one(&cfg, MechanismKind::Base, b, &opts).expect("run");
-            ipcs.push(r.perf.ipc());
-        }
-        let mean = microlib_model::stats::mean(&ipcs).unwrap_or(0.0);
-        if *label == "detailed (MicroLib)" {
-            detailed_mean = mean;
-        }
-        let delta = if detailed_mean > 0.0 {
-            (mean - detailed_mean) / detailed_mean * 100.0
-        } else {
-            0.0
-        };
-        rows.push(vec![label.to_string(), format!("{mean:.3}"), format!("{delta:+.2}%")]);
-    }
-    println!(
-        "{}",
-        text_table(&["model variant", "mean IPC", "vs detailed"], &rows)
-    );
-    println!("each removed hazard inflates IPC; their sum approximates the Fig 1 gap.");
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::ablation_fidelity::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

@@ -1,42 +1,10 @@
-//! Fig 1 — "MicroLib cache model validation": per-benchmark IPC under the
-//! detailed MicroLib cache model vs the SimpleScalar-like idealized model
-//! (infinite MSHRs, no pipeline stalls, no LSQ backpressure, free refill
-//! ports). The paper found 6.8% average difference initially, 2% after
-//! aligning the models; the idealized model overestimates IPC.
-
-use microlib::report::{pct, text_table};
-use microlib::compare_fidelity;
-use microlib_trace::benchmarks;
+//! Standalone entry point for the `fig01_model_validation` experiment; the body lives in
+//! [`microlib_bench::experiments::fig01_model_validation`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig01_model_validation",
-        "Fig 1 (MicroLib cache model validation)",
-        "IPC: detailed model vs SimpleScalar-like idealized model, per benchmark",
-    );
-    let window = microlib_bench::std_window();
-    let seed = microlib_bench::std_seed();
-    let mut rows = Vec::new();
-    let mut gaps = Vec::new();
-    for bench in benchmarks::NAMES {
-        match compare_fidelity(bench, window, seed) {
-            Ok(cmp) => {
-                gaps.push(cmp.gap_percent().abs());
-                rows.push(vec![
-                    bench.to_owned(),
-                    format!("{:.3}", cmp.detailed_ipc),
-                    format!("{:.3}", cmp.idealized_ipc),
-                    pct(cmp.gap_percent()),
-                ]);
-            }
-            Err(e) => rows.push(vec![bench.to_owned(), "-".into(), "-".into(), format!("{e}")]),
-        }
-    }
-    println!(
-        "{}",
-        text_table(&["benchmark", "detailed IPC", "idealized IPC", "gap"], &rows)
-    );
-    if let Some(avg) = microlib_model::stats::mean(&gaps) {
-        println!("average |IPC gap|: {avg:.1}%  (paper: 6.8% before alignment, 2% after)");
-    }
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig01_model_validation::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

@@ -1,58 +1,10 @@
-//! Fig 2 — "Validation of TK, TCP and TKVC": relative speedup error of the
-//! reproduction's standard setup against the original articles' setup
-//! (long arbitrary trace window + constant 70-cycle memory). The paper read
-//! the reference numbers off the articles' graphs and found a 5% average
-//! error with occasional tendency flips (speedup↔slowdown); here the
-//! article numbers are *reproduced* by running the article setup (see
-//! DESIGN.md §2 on this substitution).
-
-use microlib::report::{pct, text_table};
-use microlib::compare_setups;
-use microlib_mech::MechanismKind;
-use microlib_trace::benchmarks;
+//! Standalone entry point for the `fig02_reveng_error` experiment; the body lives in
+//! [`microlib_bench::experiments::fig02_reveng_error`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig02_reveng_error",
-        "Fig 2 (Validation of TK, TCP and TKVC)",
-        "Relative speedup error: our setup vs article setup, per benchmark",
-    );
-    let ours = microlib_bench::std_window();
-    let article = microlib_bench::article_window();
-    let seed = microlib_bench::std_seed();
-
-    for kind in [MechanismKind::Tk, MechanismKind::Tcp, MechanismKind::Tkvc] {
-        println!("--- {kind} ---");
-        let mut rows = Vec::new();
-        let mut errors = Vec::new();
-        let mut flips = 0;
-        for bench in benchmarks::NAMES {
-            match compare_setups(kind, bench, ours, article, seed) {
-                Ok(cmp) => {
-                    errors.push(cmp.relative_error_percent().abs());
-                    if cmp.tendency_flipped() {
-                        flips += 1;
-                    }
-                    rows.push(vec![
-                        bench.to_owned(),
-                        format!("{:.3}", cmp.ours),
-                        format!("{:.3}", cmp.article_setup),
-                        pct(cmp.relative_error_percent()),
-                        if cmp.tendency_flipped() { "FLIP".into() } else { String::new() },
-                    ]);
-                }
-                Err(e) => rows.push(vec![bench.to_owned(), "-".into(), "-".into(), format!("{e}"), String::new()]),
-            }
-        }
-        println!(
-            "{}",
-            text_table(
-                &["benchmark", "our speedup", "article-setup speedup", "error", "tendency"],
-                &rows
-            )
-        );
-        if let Some(avg) = microlib_model::stats::mean(&errors) {
-            println!("{kind}: average |error| {avg:.1}%, tendency flips {flips}  (paper: 5% average, occasional flips)\n");
-        }
-    }
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig02_reveng_error::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

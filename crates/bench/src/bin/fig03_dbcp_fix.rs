@@ -1,42 +1,10 @@
-//! Fig 3 — "Fixing the DBCP reverse-engineered implementation": speedups of
-//! the initial (four documented bugs) vs fixed DBCP implementations. The
-//! paper measured an average 38% difference, and noted that the TK authors'
-//! own independent reverse-engineering landed close to the *initial*
-//! implementation.
-
-use microlib::report::{pct, text_table};
-use microlib::compare_dbcp_variants;
-use microlib_trace::benchmarks;
+//! Standalone entry point for the `fig03_dbcp_fix` experiment; the body lives in
+//! [`microlib_bench::experiments::fig03_dbcp_fix`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig03_dbcp_fix",
-        "Fig 3 (Fixing the DBCP reverse-engineered implementation)",
-        "Speedup of the initial (buggy) vs fixed DBCP per benchmark",
-    );
-    let window = microlib_bench::article_window();
-    let seed = microlib_bench::std_seed();
-    let mut rows = Vec::new();
-    let mut diffs = Vec::new();
-    for bench in benchmarks::NAMES {
-        match compare_dbcp_variants(bench, window, seed) {
-            Ok(cmp) => {
-                diffs.push(cmp.difference_percent().abs());
-                rows.push(vec![
-                    bench.to_owned(),
-                    format!("{:.3}", cmp.initial),
-                    format!("{:.3}", cmp.fixed),
-                    pct(cmp.difference_percent()),
-                ]);
-            }
-            Err(e) => rows.push(vec![bench.to_owned(), "-".into(), "-".into(), format!("{e}")]),
-        }
-    }
-    println!(
-        "{}",
-        text_table(&["benchmark", "DBCP-initial", "DBCP (fixed)", "difference"], &rows)
-    );
-    if let Some(avg) = microlib_model::stats::mean(&diffs) {
-        println!("average |difference|: {avg:.1}%  (paper: 38% average)");
-    }
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig03_dbcp_fix::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

@@ -1,49 +1,10 @@
-//! Fig 4 — "Speedup": mean IPC speedup of every mechanism over the Table 1
-//! baseline across all 26 benchmarks. The paper's headline: GHB (2004) is
-//! the best mechanism and is an evolution of SP (1992 formulation of a 1982
-//! idea) — "the progress of data cache research over the past 20 years has
-//! been all but regular"; TP (1982) "performs also quite well"; CDP and
-//! Markov sit at or below the baseline on average.
-
-use microlib::report::{bar, text_table};
-use microlib::{rank_mechanisms, run_matrix};
+//! Standalone entry point for the `fig04_speedup` experiment; the body lives in
+//! [`microlib_bench::experiments::fig04_speedup`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig04_speedup",
-        "Fig 4 (Speedup) + mechanism ranking",
-        "Mean speedup over the 26 benchmarks, all 13 configurations",
-    );
-    let cfg = microlib_bench::std_experiment();
-    let matrix = run_matrix(&cfg).expect("sweep runs");
-    let names: Vec<&str> = cfg.benchmarks.iter().map(String::as_str).collect();
-    let ranked = rank_mechanisms(&matrix, &names);
-
-    for row in &ranked {
-        println!(
-            "{:2}. {}",
-            row.rank,
-            bar(&row.mechanism.to_string(), row.mean_speedup, 1.5, 40)
-        );
-    }
-    println!();
-
-    // Per-benchmark detail (the bars of Fig 4's companion data).
-    let mut rows = Vec::new();
-    for b in matrix.benchmarks() {
-        let mut row = vec![b.clone()];
-        for k in matrix.mechanisms() {
-            row.push(format!("{:.3}", matrix.speedup(b, *k)));
-        }
-        rows.push(row);
-    }
-    let mut headers: Vec<String> = vec!["benchmark".into()];
-    headers.extend(matrix.mechanisms().iter().map(|k| k.to_string()));
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    println!("{}", text_table(&header_refs, &rows));
-    println!("year-of-proposal vs rank (the paper's irregular-progress point):");
-    for row in &ranked {
-        let cat = row.mechanism.catalog();
-        println!("  rank {:2}: {:7} proposed {} ({})", row.rank, cat.acronym, cat.year, cat.venue);
-    }
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig04_speedup::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

@@ -1,33 +1,10 @@
-//! Fig 6 — "Benchmark sensitivity": the per-benchmark spread of speedups
-//! across all mechanisms. Some benchmarks barely react to any data-cache
-//! optimization; others make or break a mechanism's average — which is why
-//! benchmark selection can steer conclusions (Table 6/7, Fig 7).
-
-use microlib::report::{bar, text_table};
-use microlib::{benchmark_sensitivity, run_matrix};
+//! Standalone entry point for the `fig06_benchmark_sensitivity` experiment; the body lives in
+//! [`microlib_bench::experiments::fig06_benchmark_sensitivity`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig06_benchmark_sensitivity",
-        "Fig 6 (Benchmark sensitivity)",
-        "Speedup spread (max - min over mechanisms) per benchmark, most sensitive first",
-    );
-    let cfg = microlib_bench::std_experiment();
-    let matrix = run_matrix(&cfg).expect("sweep runs");
-    let rows = benchmark_sensitivity(&matrix);
-    let max_span = rows.first().map(|r| r.span()).unwrap_or(1.0).max(0.05);
-    let mut table = Vec::new();
-    for r in &rows {
-        println!("{}", bar(&r.benchmark, r.span(), max_span, 40));
-        table.push(vec![
-            r.benchmark.clone(),
-            format!("{:.3}", r.min_speedup),
-            format!("{:.3}", r.max_speedup),
-            format!("{:.3}", r.span()),
-        ]);
-    }
-    println!();
-    println!("{}", text_table(&["benchmark", "min speedup", "max speedup", "span"], &table));
-    println!("paper's high-sensitivity set: apsi, equake, fma3d, mgrid, swim, gap");
-    println!("paper's low-sensitivity set:  wupwise, bzip2, crafty, eon, perlbmk, vortex");
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig06_benchmark_sensitivity::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

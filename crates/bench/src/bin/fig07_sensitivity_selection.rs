@@ -1,45 +1,10 @@
-//! Fig 7 — "High- and low-sensitivity benchmarks speedup": mean speedups
-//! and rankings computed over all 26 benchmarks, over the 6 most sensitive,
-//! and over the 6 least sensitive. "Absolute observed performance and
-//! ranking are severely affected by the benchmark selection."
-
-use microlib::report::text_table;
-use microlib::{rank_mechanisms, run_matrix, sensitivity_classes};
+//! Standalone entry point for the `fig07_sensitivity_selection` experiment; the body lives in
+//! [`microlib_bench::experiments::fig07_sensitivity_selection`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig07_sensitivity_selection",
-        "Fig 7 (High- and low-sensitivity benchmark speedups)",
-        "Mean speedups over 26 / high-6 / low-6 benchmark selections",
-    );
-    let cfg = microlib_bench::std_experiment();
-    let matrix = run_matrix(&cfg).expect("sweep runs");
-    let (high, low) = sensitivity_classes(&matrix, 6);
-    println!("measured high-sensitivity set: {high:?}");
-    println!("measured low-sensitivity set:  {low:?}\n");
-
-    let all: Vec<&str> = cfg.benchmarks.iter().map(String::as_str).collect();
-    let high_refs: Vec<&str> = high.iter().map(String::as_str).collect();
-    let low_refs: Vec<&str> = low.iter().map(String::as_str).collect();
-
-    let mut rows = Vec::new();
-    for k in matrix.mechanisms() {
-        rows.push(vec![
-            k.to_string(),
-            format!("{:.3}", matrix.mean_speedup_over(*k, &all)),
-            format!("{:.3}", matrix.mean_speedup_over(*k, &high_refs)),
-            format!("{:.3}", matrix.mean_speedup_over(*k, &low_refs)),
-        ]);
-    }
-    println!(
-        "{}",
-        text_table(&["mechanism", "26 benchmarks", "high-6", "low-6"], &rows)
-    );
-    for (label, sel) in [("26", &all), ("high-6", &high_refs), ("low-6", &low_refs)] {
-        let best = rank_mechanisms(&matrix, sel);
-        println!(
-            "winner over {label}: {} ({:.3})",
-            best[0].mechanism, best[0].mean_speedup
-        );
-    }
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig07_sensitivity_selection::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

@@ -1,55 +1,10 @@
-//! Fig 9 — "Effect of the cache model accuracy" (MSHR size): the sweep with
-//! the baseline finite MSHR file (8 entries × 4 reads) vs SimpleScalar's
-//! unlimited one. Paper: a limited-but-peculiar effect that can change
-//! ranking — some mechanisms do *better* with a finite MSHR (TCP loses to
-//! TK only when the MSHR is finite, because a full MSHR stalls the cache
-//! and frees the bus for TK's L1 prefetches).
-
-use microlib::report::text_table;
-use microlib::{run_matrix, ExperimentConfig};
-use microlib_mech::MechanismKind;
-use microlib_model::SystemConfig;
+//! Standalone entry point for the `fig09_mshr` experiment; the body lives in
+//! [`microlib_bench::experiments::fig09_mshr`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig09_mshr",
-        "Fig 9 (Effect of the cache model accuracy: MSHR size)",
-        "Mean speedups with the finite (8-entry) vs infinite miss address file",
-    );
-    let base = microlib_bench::std_experiment();
-
-    let finite = run_matrix(&base).expect("finite sweep");
-    let mut infinite_cfg = ExperimentConfig {
-        system: SystemConfig {
-            ..base.system.clone()
-        },
-        ..base.clone()
-    };
-    infinite_cfg.system.fidelity.finite_mshr = false;
-    let infinite = run_matrix(&infinite_cfg).expect("infinite sweep");
-
-    let names: Vec<&str> = base.benchmarks.iter().map(String::as_str).collect();
-    let mut rows = Vec::new();
-    for k in finite.mechanisms() {
-        if *k == MechanismKind::Base {
-            continue;
-        }
-        let f = finite.mean_speedup_over(*k, &names);
-        let i = infinite.mean_speedup_over(*k, &names);
-        rows.push(vec![
-            k.to_string(),
-            format!("{:.3}", f),
-            format!("{:.3}", i),
-            format!("{:+.3}", f - i),
-        ]);
-    }
-    println!(
-        "{}",
-        text_table(
-            &["mechanism", "finite MSHR (8)", "infinite MSHR", "finite - infinite"],
-            &rows
-        )
-    );
-    println!("positive deltas = mechanisms that perform *better* with the realistic finite MSHR,");
-    println!("the paper's \"surprising\" observation.");
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig09_mshr::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

@@ -1,51 +1,10 @@
-//! Fig 10 — "Effect of second-guessing": the TCP article never stated its
-//! prefetch request-queue size; the paper tried 1 vs 128 entries and found
-//! per-benchmark swings in both directions (tiny for crafty/eon, dramatic
-//! for lucas/mgrid/art — a large buffer can *hurt* by seizing the bus).
-
-use microlib::report::{pct, text_table};
-use microlib::{run_custom, run_one};
-use microlib_mech::{MechanismKind, TagCorrelatingPrefetcher};
-use microlib_trace::benchmarks;
+//! Standalone entry point for the `fig10_second_guessing` experiment; the body lives in
+//! [`microlib_bench::experiments::fig10_second_guessing`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig10_second_guessing",
-        "Fig 10 (Effect of second-guessing: TCP prefetch queue size)",
-        "TCP speedup with a 128-entry vs a 1-entry request queue, per benchmark",
-    );
-    let cfg = microlib_model::SystemConfig::baseline();
-    let opts = microlib_bench::std_options();
-    let mut rows = Vec::new();
-    let mut spreads = Vec::new();
-    for bench in benchmarks::NAMES {
-        let base = run_one(&cfg, MechanismKind::Base, bench, &opts).expect("base runs");
-        let q128 = run_one(&cfg, MechanismKind::Tcp, bench, &opts).expect("TCP/128 runs");
-        let q1 = run_custom(
-            &cfg,
-            Box::new(TagCorrelatingPrefetcher::with_queue_capacity(1)),
-            MechanismKind::Tcp,
-            bench,
-            &opts,
-        )
-        .expect("TCP/1 runs");
-        let s128 = q128.perf.speedup_over(&base.perf);
-        let s1 = q1.perf.speedup_over(&base.perf);
-        let delta = (s128 - s1) / s1 * 100.0;
-        spreads.push(delta.abs());
-        rows.push(vec![
-            bench.to_owned(),
-            format!("{:.3}", s128),
-            format!("{:.3}", s1),
-            pct(delta),
-        ]);
-    }
-    println!(
-        "{}",
-        text_table(&["benchmark", "queue = 128", "queue = 1", "difference"], &rows)
-    );
-    if let Some(avg) = microlib_model::stats::mean(&spreads) {
-        println!("average |difference|: {avg:.1}%  — an undocumented parameter moves results");
-        println!("in both directions (the paper settled on 128 after contacting the authors).");
-    }
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig10_second_guessing::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

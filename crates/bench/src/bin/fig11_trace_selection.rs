@@ -1,81 +1,10 @@
-//! Fig 11 — "Effect of trace selection": the arbitrary "skip N, simulate M"
-//! windows most articles used vs SimPoint-selected representative
-//! intervals. Paper: the two methods differ significantly, most mechanisms
-//! look better on arbitrary windows, and even multi-billion-instruction
-//! windows are no safe precaution.
-
-use microlib::report::text_table;
-use microlib::{run_matrix, ExperimentConfig};
-use microlib_mech::MechanismKind;
-use microlib_trace::{benchmarks, simpoint, BbvProfiler, TraceWindow, Workload};
+//! Standalone entry point for the `fig11_trace_selection` experiment; the body lives in
+//! [`microlib_bench::experiments::fig11_trace_selection`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "fig11_trace_selection",
-        "Fig 11 (Effect of trace selection)",
-        "Arbitrary skip/simulate window vs the SimPoint-selected interval",
-    );
-    let base = microlib_bench::std_experiment();
-    let seed = microlib_bench::std_seed();
-    let window = microlib_bench::std_window();
-
-    // Arbitrary window (what most articles do).
-    let arbitrary = run_matrix(&base).expect("arbitrary-window sweep");
-
-    // SimPoint per benchmark: profile BBVs over a profiling prefix, pick
-    // the primary simulation point, simulate that interval.
-    let interval = window.simulate;
-    let profile_len = interval * 8;
-    println!("profiling {profile_len} instructions per benchmark in {interval}-instruction intervals…\n");
-
-    let mut rows = Vec::new();
-    let mechanisms = base.mechanisms.clone();
-    let mut simpoint_means: Vec<(MechanismKind, Vec<f64>)> =
-        mechanisms.iter().map(|k| (*k, Vec::new())).collect();
-    for bench in benchmarks::NAMES {
-        let workload = Workload::new(benchmarks::by_name(bench).unwrap(), seed);
-        let mut profiler = BbvProfiler::new(interval);
-        for inst in workload.stream().take(profile_len as usize) {
-            profiler.observe(&inst);
-        }
-        let vectors = BbvProfiler::to_matrix(profiler.intervals());
-        let chosen = simpoint::primary_simpoint(&vectors, 6, seed).map(|p| p.interval).unwrap_or(0);
-        let sp_window = TraceWindow::simpoint_interval(chosen, interval);
-        let cfg = ExperimentConfig {
-            benchmarks: vec![bench.to_owned()],
-            window: sp_window,
-            ..base.clone()
-        };
-        let m = run_matrix(&cfg).expect("simpoint sweep");
-        for (k, acc) in &mut simpoint_means {
-            acc.push(m.speedup(bench, *k));
-        }
-        rows.push(vec![bench.to_owned(), format!("interval {chosen} ({sp_window})")]);
-    }
-    println!("{}", text_table(&["benchmark", "SimPoint choice"], &rows));
-
-    let names: Vec<&str> = base.benchmarks.iter().map(String::as_str).collect();
-    let mut table = Vec::new();
-    for (k, acc) in &simpoint_means {
-        if *k == MechanismKind::Base {
-            continue;
-        }
-        let arb = arbitrary.mean_speedup_over(*k, &names);
-        let sp = microlib_model::stats::mean(acc).unwrap_or(0.0);
-        table.push(vec![
-            k.to_string(),
-            format!("{:.3}", arb),
-            format!("{:.3}", sp),
-            format!("{:+.3}", arb - sp),
-        ]);
-    }
-    println!(
-        "{}",
-        text_table(
-            &["mechanism", "arbitrary window", "SimPoint interval", "arbitrary - simpoint"],
-            &table
-        )
-    );
-    println!("paper: \"most mechanisms appear to perform better with an arbitrary 2-billion");
-    println!("trace, with the notable exception of TP\" — trace selection steers decisions.");
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::fig11_trace_selection::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

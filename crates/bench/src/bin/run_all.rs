@@ -1,59 +1,59 @@
-//! Runs the complete experiment battery (every figure and table) and
-//! captures each harness's output under `results/`.
+//! Runs the complete experiment battery (every figure and table)
+//! **in-process** on the campaign engine, capturing each experiment's
+//! output under `results/`.
+//!
+//! Unlike the old child-process orchestrator, all experiments share one
+//! [`microlib_bench::Context`]: the standard 26×13 campaign is swept
+//! exactly once and reused by the eight experiments that need it, so a
+//! full battery costs a fraction of the former sixteen independent
+//! sweeps. Captured outputs contain only deterministic content (progress
+//! and timing go to stderr), so `results/` is bit-identical for any
+//! `MICROLIB_THREADS` value.
 
+use microlib_bench::{experiments, Context};
 use std::fs;
-use std::process::Command;
-
-const EXPERIMENTS: [&str; 14] = [
-    "ablation_fidelity",
-    "tab01_config",
-    "fig01_model_validation",
-    "fig02_reveng_error",
-    "fig03_dbcp_fix",
-    "fig04_speedup",
-    "fig05_power_cost",
-    "tab05_prior_comparisons",
-    "tab06_subset_winners",
-    "tab07_selection_ranking",
-    "fig06_benchmark_sensitivity",
-    "fig07_sensitivity_selection",
-    "fig08_memory_model",
-    "fig09_mshr",
-];
-
-// fig10/fig11 are slow (per-benchmark resimulation); they run last so a
-// partial battery still covers the headline results.
-const SLOW_EXPERIMENTS: [&str; 2] = ["fig10_second_guessing", "fig11_trace_selection"];
+use std::panic::{self, AssertUnwindSafe};
+use std::time::Instant;
 
 fn main() {
-    let exe_dir = std::env::current_exe()
-        .expect("own path")
-        .parent()
-        .expect("bin dir")
-        .to_path_buf();
     fs::create_dir_all("results").expect("results dir");
-
-    let all: Vec<&str> = EXPERIMENTS
-        .iter()
-        .chain(SLOW_EXPERIMENTS.iter())
-        .copied()
-        .collect();
-    for name in all {
-        let bin = exe_dir.join(name);
-        if !bin.exists() {
-            eprintln!("skipping {name}: binary not built (cargo build --release -p microlib-bench)");
-            continue;
-        }
+    let mut cx = Context::new();
+    let battery = Instant::now();
+    let mut failed = 0usize;
+    for (name, run) in experiments::ALL {
         println!(">>> {name}");
-        let t = std::time::Instant::now();
-        let out = Command::new(&bin).output().expect("experiment runs");
+        let t = Instant::now();
+        let mut captured: Vec<u8> = Vec::new();
+        // One failing experiment (a panicking sweep cell, say) must not
+        // sink the rest of the battery: catch it, keep the partial
+        // capture for diagnosis, move on — the old child-process
+        // orchestrator's isolation, kept across the in-process port.
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| run(&mut cx, &mut captured)));
         let path = format!("results/{name}.txt");
-        fs::write(&path, &out.stdout).expect("write result");
-        if !out.status.success() {
-            eprintln!("{name} FAILED:\n{}", String::from_utf8_lossy(&out.stderr));
-        } else {
-            println!("    -> {path} ({:.1?})", t.elapsed());
+        fs::write(&path, &captured).expect("write result");
+        match outcome {
+            Ok(Ok(())) => println!("    -> {path} ({:.1?})", t.elapsed()),
+            Ok(Err(e)) => {
+                failed += 1;
+                eprintln!("{name} FAILED writing output: {e} (partial capture in {path})");
+            }
+            Err(payload) => {
+                failed += 1;
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("non-string panic");
+                eprintln!("{name} FAILED: {msg} (partial capture in {path})");
+            }
         }
     }
-    println!("\nall results under results/");
+    println!(
+        "\nall {} experiments done in {:.1?} ({failed} failed); results under results/",
+        experiments::ALL.len(),
+        battery.elapsed()
+    );
+    if failed > 0 {
+        std::process::exit(1);
+    }
 }

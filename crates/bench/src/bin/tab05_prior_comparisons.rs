@@ -1,29 +1,10 @@
-//! Table 5 — "Previous comparisons": which mechanism's original article
-//! quantitatively compared against which previously published mechanisms.
-//! Straight from the catalog; the paper's point is how *few* such
-//! comparisons exist ("few articles have quantitative comparisons with
-//! (one or two) previous mechanisms, except when comparisons are almost
-//! compulsory").
-
-use microlib::report::text_table;
-use microlib_mech::MechanismKind;
+//! Standalone entry point for the `tab05_prior_comparisons` experiment; the body lives in
+//! [`microlib_bench::experiments::tab05_prior_comparisons`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "tab05_prior_comparisons",
-        "Table 5 (Previous comparisons)",
-        "Quantitative comparisons performed by the original articles",
-    );
-    let mut rows = Vec::new();
-    for kind in MechanismKind::study_set() {
-        let against = kind.compared_against();
-        if against.is_empty() {
-            continue;
-        }
-        let list: Vec<String> = against.iter().map(|k| k.to_string()).collect();
-        rows.push(vec![kind.to_string(), format!("vs. {}", list.join(", "))]);
-    }
-    println!("{}", text_table(&["mechanism", "compared"], &rows));
-    println!("(TK and TCP compared against DBCP — \"while in this case, a comparison with SP");
-    println!(" might have been more appropriate\", as the paper notes.)");
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::tab05_prior_comparisons::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

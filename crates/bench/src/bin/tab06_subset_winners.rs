@@ -1,53 +1,10 @@
-//! Table 6 — "Which mechanism can be the best with N benchmarks?":
-//! exhaustively enumerates *every* benchmark subset (2²⁶ − 1 of them, via a
-//! Gray-code walk) and records, per subset size N, which mechanisms can win
-//! some N-benchmark selection. The paper's cherry-picking result: for any
-//! N ≤ 23 there is more than one possible winner, and even poor-on-average
-//! mechanisms (FVC, Markov) win surprisingly large selections.
-
-use microlib::report::text_table;
-use microlib::{run_matrix, subset_winner_analysis};
+//! Standalone entry point for the `tab06_subset_winners` experiment; the body lives in
+//! [`microlib_bench::experiments::tab06_subset_winners`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "tab06_subset_winners",
-        "Table 6 (Which mechanism can be the best with N benchmarks?)",
-        "Exhaustive Gray-code enumeration of all benchmark subsets",
-    );
-    let cfg = microlib_bench::std_experiment();
-    let matrix = run_matrix(&cfg).expect("sweep runs");
-    let t = std::time::Instant::now();
-    let analysis = subset_winner_analysis(&matrix);
-    println!(
-        "enumerated {} subsets in {:?}\n",
-        (1u64 << matrix.benchmarks().len()) - 1,
-        t.elapsed()
-    );
-
-    // The paper's table: rows = N, columns = mechanisms, check = can win.
-    let mut headers: Vec<String> = vec!["N".into()];
-    headers.extend(analysis.mechanisms.iter().map(|k| k.to_string()));
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-    let mut rows = Vec::new();
-    for n in 1..=analysis.benchmark_count {
-        let mut row = vec![n.to_string()];
-        for k in &analysis.mechanisms {
-            row.push(if analysis.wins_at(*k, n) { "x".into() } else { String::new() });
-        }
-        rows.push(row);
-    }
-    println!("{}", text_table(&header_refs, &rows));
-
-    let mut multi = 0;
-    for n in 1..=analysis.benchmark_count {
-        if analysis.winners_at(n) > 1 {
-            multi = n;
-        }
-    }
-    println!("largest N with more than one possible winner: {multi}  (paper: 23)");
-    for k in &analysis.mechanisms {
-        if let Some(n) = analysis.max_winning_size(*k) {
-            println!("  {:8} can win selections up to N = {}", k.to_string(), n);
-        }
-    }
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::tab06_subset_winners::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

@@ -1,41 +1,10 @@
-//! Table 7 — "Influence of benchmark selection": full 26-benchmark ranking
-//! vs the rankings induced by the DBCP and GHB articles' own benchmark
-//! selections. The paper: DBCP's selection flatters DBCP; GHB actually does
-//! *better* on all 26 than on its own article's selection.
-
-use microlib::report::text_table;
-use microlib::{ranking_row, run_matrix};
-use microlib_trace::benchmarks;
+//! Standalone entry point for the `tab07_selection_ranking` experiment; the body lives in
+//! [`microlib_bench::experiments::tab07_selection_ranking`] so `run_all` can execute it
+//! in-process against the shared campaign context.
 
 fn main() {
-    microlib_bench::header(
-        "tab07_selection_ranking",
-        "Table 7 (Influence of benchmark selection)",
-        "Rank of each mechanism under three benchmark selections",
-    );
-    let cfg = microlib_bench::std_experiment();
-    let matrix = run_matrix(&cfg).expect("sweep runs");
-
-    let all: Vec<&str> = cfg.benchmarks.iter().map(String::as_str).collect();
-    let dbcp_sel: Vec<&str> = benchmarks::DBCP_SELECTION.to_vec();
-    let ghb_sel: Vec<&str> = benchmarks::GHB_SELECTION.to_vec();
-
-    let mut headers: Vec<String> = vec!["selection".into()];
-    headers.extend(matrix.mechanisms().iter().map(|k| k.to_string()));
-    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
-
-    let mut rows = Vec::new();
-    for (label, sel) in [
-        ("26 benchmarks", &all),
-        ("DBCP article selection", &dbcp_sel),
-        ("GHB article selection", &ghb_sel),
-    ] {
-        let ranks = ranking_row(&matrix, sel);
-        let mut row = vec![label.to_owned()];
-        row.extend(ranks.iter().map(|r| r.to_string()));
-        rows.push(row);
-    }
-    println!("{}", text_table(&header_refs, &rows));
-    println!("selections: DBCP = {:?}", benchmarks::DBCP_SELECTION);
-    println!("            GHB  = {:?}", benchmarks::GHB_SELECTION);
+    let mut cx = microlib_bench::Context::new();
+    let stdout = std::io::stdout();
+    microlib_bench::experiments::tab07_selection_ranking::run(&mut cx, &mut stdout.lock())
+        .expect("write experiment output");
 }

@@ -2,8 +2,10 @@
 //!
 //! Experiment harnesses that regenerate every figure and table of the
 //! MicroLib paper. Each `fig*`/`tab*` binary prints the same rows/series
-//! the paper reports; `run_all` executes the full battery. See DESIGN.md §6
-//! for the experiment index and EXPERIMENTS.md for measured-vs-paper notes.
+//! the paper reports; `run_all` executes the full battery **in process**,
+//! sharing one standard campaign across every experiment that needs it.
+//! See DESIGN.md §6 for the experiment index and EXPERIMENTS.md for
+//! measured-vs-paper notes.
 //!
 //! All binaries accept the environment overrides:
 //!
@@ -12,11 +14,17 @@
 //! - `MICROLIB_SIM` — detailed-simulated instructions (default 100 000);
 //! - `MICROLIB_SEED` — workload seed (default `0xC0FFEE`);
 //! - `MICROLIB_THREADS` — worker threads (default: all cores).
+//!
+//! Result tables are written to stdout and are bit-identical for any
+//! `MICROLIB_THREADS` value; progress and timing go to stderr.
 
 #![warn(missing_docs)]
 
-use microlib::{ExperimentConfig, SimOptions};
+use microlib::{Campaign, ExperimentConfig, Matrix, SimOptions};
 use microlib_trace::TraceWindow;
+use std::io::Write as _;
+
+pub mod experiments;
 
 /// Environment-configurable trace window shared by all experiments.
 pub fn std_window() -> TraceWindow {
@@ -59,6 +67,17 @@ pub fn std_experiment() -> ExperimentConfig {
     cfg
 }
 
+/// A thread pool honouring `MICROLIB_THREADS`, for experiment-local
+/// parallelism outside the campaign engine (per-benchmark comparison
+/// loops). Collected results are always in input order, so this never
+/// perturbs output tables.
+pub fn par_pool() -> rayon::ThreadPool {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(std_threads())
+        .build()
+        .expect("experiment thread pool")
+}
+
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
         .ok()
@@ -66,13 +85,97 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Runs `cfg` through the campaign engine with progress on stderr.
+///
+/// Per-cell failures are all reported (coordinates + cause) before the
+/// sweep panics — one bad cell no longer masks the rest of a sweep's
+/// diagnostics. Standalone binaries abort on the panic (the historical
+/// `.expect("sweep runs")` behavior); `run_all` catches it per
+/// experiment so one failing experiment cannot sink the battery.
+///
+/// # Panics
+///
+/// Panics if the configuration is rejected or any cell fails.
+pub fn sweep(cfg: &ExperimentConfig) -> Matrix {
+    let campaign = Campaign::new(cfg.clone()).with_progress(|u| {
+        eprint!(
+            "\r  [{}/{}] {} x {}        ",
+            u.completed, u.total, u.benchmark, u.mechanism
+        );
+        let _ = std::io::stderr().flush();
+    });
+    eprintln!(
+        "campaign: {} cells on {} threads",
+        campaign.cell_count(),
+        campaign.effective_threads()
+    );
+    let report = match campaign.run() {
+        Ok(report) => report,
+        Err(e) => panic!("campaign configuration rejected: {e}"),
+    };
+    eprintln!();
+    if report.failure_count() > 0 {
+        for cell in report.failures() {
+            let err = cell.outcome.as_ref().expect_err("failure cell");
+            eprintln!("  FAILED {} x {}: {err}", cell.benchmark, cell.mechanism);
+        }
+        panic!(
+            "{} of {} sweep cells failed (details on stderr)",
+            report.failure_count(),
+            report.cells().len()
+        );
+    }
+    report.into_matrix().expect("all cells succeeded")
+}
+
+/// Shared state across experiments in one process: the standard campaign's
+/// matrix is computed once and reused by every experiment that sweeps the
+/// paper's main setup (`run_all` runs eight such experiments off a single
+/// sweep).
+#[derive(Debug, Default)]
+pub struct Context {
+    std_matrix: Option<Matrix>,
+}
+
+impl Context {
+    /// Creates an empty context (no sweeps run yet).
+    pub fn new() -> Self {
+        Context::default()
+    }
+
+    /// The matrix of the standard experiment ([`std_experiment`]), swept on
+    /// first use through the campaign engine and cached for the rest of
+    /// the process.
+    pub fn std_matrix(&mut self) -> &Matrix {
+        if self.std_matrix.is_none() {
+            self.std_matrix = Some(sweep(&std_experiment()));
+        }
+        self.std_matrix.as_ref().expect("just computed")
+    }
+}
+
 /// Prints the standard experiment header.
-pub fn header(id: &str, paper_ref: &str, what: &str) {
-    println!("==============================================================");
-    println!("{id} — {paper_ref}");
-    println!("{what}");
-    println!("window: {} (seed {:#x})", std_window(), std_seed());
-    println!("==============================================================");
+///
+/// # Errors
+///
+/// Propagates write failures on `w`.
+pub fn header(
+    w: &mut dyn std::io::Write,
+    id: &str,
+    paper_ref: &str,
+    what: &str,
+) -> std::io::Result<()> {
+    writeln!(
+        w,
+        "=============================================================="
+    )?;
+    writeln!(w, "{id} — {paper_ref}")?;
+    writeln!(w, "{what}")?;
+    writeln!(w, "window: {} (seed {:#x})", std_window(), std_seed())?;
+    writeln!(
+        w,
+        "=============================================================="
+    )
 }
 
 #[cfg(test)]
@@ -92,5 +195,14 @@ mod tests {
     #[test]
     fn article_window_is_longer() {
         assert!(article_window().simulate > std_window().simulate);
+    }
+
+    #[test]
+    fn header_is_deterministic() {
+        let mut a = Vec::new();
+        let mut b = Vec::new();
+        header(&mut a, "x", "y", "z").unwrap();
+        header(&mut b, "x", "y", "z").unwrap();
+        assert_eq!(a, b);
     }
 }

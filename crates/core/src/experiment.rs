@@ -1,11 +1,11 @@
-//! The experiment matrix: (benchmark × mechanism) sweeps with a shared
-//! configuration, parallelized across OS threads.
+//! The experiment matrix: the declarative description of a
+//! (benchmark × mechanism) sweep and its indexable result grid. The sweep
+//! itself runs on the campaign engine ([`crate::Campaign`]).
 
-use crate::simulator::{run_one, RunResult, SimError, SimOptions};
+use crate::simulator::{RunResult, SimError, SimOptions};
 use microlib_mech::MechanismKind;
 use microlib_model::SystemConfig;
 use microlib_trace::{benchmarks, TraceWindow};
-use std::sync::Mutex;
 
 /// Declarative description of a (benchmark × mechanism) sweep.
 #[derive(Clone, Debug)]
@@ -39,7 +39,7 @@ impl ExperimentConfig {
         }
     }
 
-    fn options(&self) -> SimOptions {
+    pub(crate) fn options(&self) -> SimOptions {
         SimOptions {
             seed: self.seed,
             window: self.window,
@@ -57,6 +57,19 @@ pub struct Matrix {
 }
 
 impl Matrix {
+    pub(crate) fn from_parts(
+        benchmarks: Vec<String>,
+        mechanisms: Vec<MechanismKind>,
+        results: Vec<RunResult>,
+    ) -> Self {
+        debug_assert_eq!(results.len(), benchmarks.len() * mechanisms.len());
+        Matrix {
+            benchmarks,
+            mechanisms,
+            results,
+        }
+    }
+
     /// Benchmarks in row order.
     pub fn benchmarks(&self) -> &[String] {
         &self.benchmarks
@@ -90,7 +103,9 @@ impl Matrix {
     /// `Base` column.
     pub fn speedup(&self, benchmark: &str, mechanism: MechanismKind) -> f64 {
         let base = self.result(benchmark, MechanismKind::Base);
-        self.result(benchmark, mechanism).perf.speedup_over(&base.perf)
+        self.result(benchmark, mechanism)
+            .perf
+            .speedup_over(&base.perf)
     }
 
     /// Per-benchmark speedups for one mechanism, in benchmark order.
@@ -123,11 +138,15 @@ impl Matrix {
     }
 }
 
-/// Runs the sweep, parallelizing cells across threads.
+/// Runs the sweep on the campaign engine, parallelizing cells across the
+/// work-stealing pool. This is the abort-on-failure convenience wrapper
+/// around [`Campaign`](crate::Campaign); use the campaign API directly for
+/// per-cell error capture and progress reporting.
 ///
 /// # Errors
 ///
-/// Returns the first [`SimError`] any cell produced.
+/// Returns the configuration error, or the first [`SimError`] any cell
+/// produced (in deterministic row-major cell order).
 ///
 /// # Examples
 ///
@@ -150,62 +169,7 @@ impl Matrix {
 /// # Ok::<(), microlib::SimError>(())
 /// ```
 pub fn run_matrix(config: &ExperimentConfig) -> Result<Matrix, SimError> {
-    config.system.validate()?;
-    let jobs: Vec<(usize, String, MechanismKind)> = config
-        .benchmarks
-        .iter()
-        .enumerate()
-        .flat_map(|(b, bench)| {
-            config
-                .mechanisms
-                .iter()
-                .enumerate()
-                .map(move |(m, mech)| (b * config.mechanisms.len() + m, bench.clone(), *mech))
-        })
-        .collect();
-
-    let threads = if config.threads == 0 {
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(4)
-    } else {
-        config.threads
-    }
-    .max(1);
-
-    let slots: Mutex<Vec<Option<Result<RunResult, SimError>>>> =
-        Mutex::new((0..jobs.len()).map(|_| None).collect());
-    let next: Mutex<usize> = Mutex::new(0);
-    let opts = config.options();
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(jobs.len().max(1)) {
-            scope.spawn(|| loop {
-                let job = {
-                    let mut cursor = next.lock().expect("job cursor");
-                    if *cursor >= jobs.len() {
-                        break;
-                    }
-                    let j = jobs[*cursor].clone();
-                    *cursor += 1;
-                    j
-                };
-                let (slot, bench, mech) = job;
-                let outcome = run_one(&config.system, mech, &bench, &opts);
-                slots.lock().expect("result slots")[slot] = Some(outcome);
-            });
-        }
-    });
-
-    let mut results = Vec::with_capacity(jobs.len());
-    for slot in slots.into_inner().expect("slots") {
-        results.push(slot.expect("every job ran")?);
-    }
-    Ok(Matrix {
-        benchmarks: config.benchmarks.clone(),
-        mechanisms: config.mechanisms.clone(),
-        results,
-    })
+    crate::Campaign::new(config.clone()).run()?.into_matrix()
 }
 
 #[cfg(test)]

@@ -18,7 +18,12 @@
 //! | [`microlib_cpu`] | out-of-order RUU/LSQ core (sim-outorder-like) |
 //! | [`microlib_mech`] | the mechanisms: TP, VC, SP, Markov, FVC, DBCP(+initial), TKVC, TK, CDP, CDPSP, TCP, GHB |
 //! | [`microlib_cost`] | CACTI-like area + XCACTI-like energy models |
-//! | `microlib` (this crate) | simulation driver, experiment matrix, ranking & analysis |
+//! | `microlib` (this crate) | simulation driver, campaign engine, experiment matrix, ranking & analysis |
+//!
+//! Sweeps run on the [`Campaign`] engine: a rayon-backed work-stealing
+//! pool over the (benchmark × mechanism) grid with deterministic result
+//! ordering, per-cell error capture and structured progress reporting.
+//! [`run_matrix`] is its abort-on-first-failure convenience wrapper.
 //!
 //! ## Quick start
 //!
@@ -48,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod campaign;
 mod experiment;
 mod ranking;
 pub mod report;
@@ -55,6 +61,7 @@ mod sensitivity;
 mod simulator;
 mod validation;
 
+pub use campaign::{Campaign, CampaignCell, CampaignReport, CellUpdate};
 pub use experiment::{run_matrix, ExperimentConfig, Matrix};
 pub use ranking::{
     rank_mechanisms, ranking_row, subset_winner_analysis, RankedMechanism, SubsetWinners,
@@ -62,8 +69,8 @@ pub use ranking::{
 pub use sensitivity::{benchmark_sensitivity, sensitivity_classes, BenchmarkSensitivity};
 pub use simulator::{run_custom, run_one, RunResult, SimError, SimOptions};
 pub use validation::{
-    compare_dbcp_variants, compare_fidelity, compare_setups, speedup_of, DbcpComparison,
-    FidelityComparison, SetupComparison,
+    article_speedup, compare_dbcp_variants, compare_fidelity, compare_setups, speedup_of,
+    DbcpComparison, FidelityComparison, SetupComparison,
 };
 
 // Re-export the component crates so downstream users need only one

@@ -41,7 +41,11 @@ pub fn rank_mechanisms(matrix: &Matrix, selection: &[&str]) -> Vec<RankedMechani
         .enumerate()
         .map(|(i, k)| (i, *k, matrix.mean_speedup_over(*k, selection)))
         .collect();
-    rows.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal).then(a.0.cmp(&b.0)));
+    rows.sort_by(|a, b| {
+        b.2.partial_cmp(&a.2)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
     rows.into_iter()
         .enumerate()
         .map(|(rank, (_, mechanism, mean_speedup))| RankedMechanism {
@@ -96,7 +100,9 @@ impl SubsetWinners {
     /// Largest subset size `mechanism` can still win, if any.
     pub fn max_winning_size(&self, mechanism: MechanismKind) -> Option<usize> {
         let m = self.mechanisms.iter().position(|k| *k == mechanism)?;
-        (1..=self.benchmark_count).rev().find(|n| self.can_win[m][n - 1])
+        (1..=self.benchmark_count)
+            .rev()
+            .find(|n| self.can_win[m][n - 1])
     }
 
     /// Number of distinct winners possible at subset size `n`.
@@ -120,14 +126,14 @@ impl SubsetWinners {
 pub fn subset_winner_analysis(matrix: &Matrix) -> SubsetWinners {
     let mechanisms = matrix.mechanisms().to_vec();
     let benches = matrix.benchmarks().len();
-    assert!(benches <= 26, "exhaustive enumeration capped at 26 benchmarks");
+    assert!(
+        benches <= 26,
+        "exhaustive enumeration capped at 26 benchmarks"
+    );
     assert!(benches >= 1, "need at least one benchmark");
 
     // speedups[m][b]
-    let speedups: Vec<Vec<f64>> = mechanisms
-        .iter()
-        .map(|k| matrix.speedups_for(*k))
-        .collect();
+    let speedups: Vec<Vec<f64>> = mechanisms.iter().map(|k| matrix.speedups_for(*k)).collect();
 
     let m_count = mechanisms.len();
     let mut sums = vec![0.0f64; m_count];
@@ -216,7 +222,7 @@ mod tests {
         let m = small_matrix();
         let analysis = subset_winner_analysis(&m);
         // Exactly one winner of the full set.
-        assert_eq!(analysis.winners_at(3) , 1);
+        assert_eq!(analysis.winners_at(3), 1);
         // Every size has at least one winner.
         for n in 1..=3 {
             assert!(analysis.winners_at(n) >= 1);

@@ -61,11 +61,18 @@ pub fn text_table(headers: &[&str], rows: &[Vec<String>]) -> String {
 /// ```
 pub fn bar(label: &str, value: f64, full_scale: f64, width: usize) -> String {
     let filled = if full_scale > 0.0 {
-        ((value / full_scale) * width as f64).round().clamp(0.0, width as f64) as usize
+        ((value / full_scale) * width as f64)
+            .round()
+            .clamp(0.0, width as f64) as usize
     } else {
         0
     };
-    format!("{label:<12} {:6.3} |{}{}|", value, "#".repeat(filled), " ".repeat(width - filled))
+    format!(
+        "{label:<12} {:6.3} |{}{}|",
+        value,
+        "#".repeat(filled),
+        " ".repeat(width - filled)
+    )
 }
 
 /// Formats a float with three decimals (the paper's speedup precision).
@@ -86,10 +93,7 @@ mod tests {
     fn table_aligns_columns() {
         let out = text_table(
             &["a", "long header"],
-            &[
-                vec!["xx".into(), "1".into()],
-                vec!["y".into(), "22".into()],
-            ],
+            &[vec!["xx".into(), "1".into()], vec!["y".into(), "22".into()]],
         );
         let lines: Vec<&str> = out.lines().collect();
         assert_eq!(lines.len(), 4);

@@ -56,14 +56,22 @@ pub fn benchmark_sensitivity(matrix: &Matrix) -> Vec<BenchmarkSensitivity> {
             }
         })
         .collect();
-    rows.sort_by(|a, b| b.span().partial_cmp(&a.span()).unwrap_or(std::cmp::Ordering::Equal));
+    rows.sort_by(|a, b| {
+        b.span()
+            .partial_cmp(&a.span())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     rows
 }
 
 /// The `count` most and least sensitive benchmarks (Fig 7's high-6/low-6).
 pub fn sensitivity_classes(matrix: &Matrix, count: usize) -> (Vec<String>, Vec<String>) {
     let rows = benchmark_sensitivity(matrix);
-    let high = rows.iter().take(count).map(|r| r.benchmark.clone()).collect();
+    let high = rows
+        .iter()
+        .take(count)
+        .map(|r| r.benchmark.clone())
+        .collect();
     let low = rows
         .iter()
         .rev()

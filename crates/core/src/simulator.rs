@@ -203,9 +203,17 @@ pub fn run_custom(
     let mut stream = workload.stream();
     for _ in 0..opts.window.skip {
         let Some(inst) = stream.next() else { break };
-        let mem_ref = inst
-            .mem
-            .map(|m| (m.addr, if m.is_store { microlib_model::AccessKind::Store } else { microlib_model::AccessKind::Load }, m.value));
+        let mem_ref = inst.mem.map(|m| {
+            (
+                m.addr,
+                if m.is_store {
+                    microlib_model::AccessKind::Store
+                } else {
+                    microlib_model::AccessKind::Load
+                },
+                m.value,
+            )
+        });
         mem.warm_inst(inst.pc, mem_ref);
     }
     let start = mem.finish_warmup();

@@ -104,18 +104,9 @@ pub fn compare_setups(
     seed: u64,
 ) -> Result<SetupComparison, SimError> {
     let ours_cfg = SystemConfig::baseline();
-    let article_cfg = SystemConfig {
-        memory: MemoryModel::simplescalar_70(),
-        ..SystemConfig::baseline()
-    };
     let our_opts = SimOptions {
         seed,
         window: our_window,
-        ..SimOptions::default()
-    };
-    let article_opts = SimOptions {
-        seed,
-        window: article_window,
         ..SimOptions::default()
     };
 
@@ -128,8 +119,37 @@ pub fn compare_setups(
     Ok(SetupComparison {
         benchmark: benchmark.to_owned(),
         ours: speedup(&ours_cfg, &our_opts)?,
-        article_setup: speedup(&article_cfg, &article_opts)?,
+        article_setup: article_speedup(mechanism, benchmark, article_window, seed)?,
     })
+}
+
+/// The article half of [`compare_setups`] alone: speedup of `mechanism`
+/// on `benchmark` under the original articles' setup (long arbitrary
+/// window, constant 70-cycle memory). Split out so harnesses that already
+/// hold the standard-setup speedup (from a campaign matrix) don't have to
+/// re-simulate it.
+///
+/// # Errors
+///
+/// Any [`SimError`] from the two underlying runs.
+pub fn article_speedup(
+    mechanism: MechanismKind,
+    benchmark: &str,
+    article_window: TraceWindow,
+    seed: u64,
+) -> Result<f64, SimError> {
+    let cfg = SystemConfig {
+        memory: MemoryModel::simplescalar_70(),
+        ..SystemConfig::baseline()
+    };
+    let opts = SimOptions {
+        seed,
+        window: article_window,
+        ..SimOptions::default()
+    };
+    let base = run_one(&cfg, MechanismKind::Base, benchmark, &opts)?;
+    let with = run_one(&cfg, mechanism, benchmark, &opts)?;
+    Ok(with.perf.speedup_over(&base.perf))
 }
 
 /// Fig 3: speedups of the initial (buggy) and fixed DBCP implementations

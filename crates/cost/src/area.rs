@@ -72,7 +72,8 @@ impl AreaModel {
 
     /// Area of a cache (data + tag array) in mm².
     pub fn cache_area_mm2(&self, cache: &CacheConfig) -> f64 {
-        let tag_bits = 64 - (cache.line_bytes.trailing_zeros() + cache.sets().trailing_zeros()) as u64;
+        let tag_bits =
+            64 - (cache.line_bytes.trailing_zeros() + cache.sets().trailing_zeros()) as u64;
         let state_bits = 4; // valid/dirty/prefetched/touched
         let table = SramTable {
             name: cache.name.clone(),
@@ -156,10 +157,12 @@ mod tests {
         // A 2 MB correlation table (DBCP) must cost more than the whole
         // base hierarchy (~1 MB L2 + 32 KB L1).
         let m = AreaModel::default();
-        let budget = HardwareBudget::with_tables(
-            "DBCP",
-            vec![SramTable::new("corr", 131_072, 128, 8)],
+        let budget =
+            HardwareBudget::with_tables("DBCP", vec![SramTable::new("corr", 131_072, 128, 8)]);
+        assert!(
+            m.cost_ratio(&budget) > 1.0,
+            "ratio {}",
+            m.cost_ratio(&budget)
         );
-        assert!(m.cost_ratio(&budget) > 1.0, "ratio {}", m.cost_ratio(&budget));
     }
 }

@@ -166,16 +166,14 @@ impl OoOCore {
     /// Index of the youngest older store overlapping `addr`'s word, if any.
     fn older_store_conflict(&self, load_idx: usize, addr: Addr) -> Option<usize> {
         let word = addr.word_index();
-        (0..load_idx)
-            .rev()
-            .find(|&i| {
-                let s = &self.window[i];
-                s.inst.op == OpClass::Store
-                    && s.inst
-                        .mem
-                        .map(|m| m.addr.word_index() == word)
-                        .unwrap_or(false)
-            })
+        (0..load_idx).rev().find(|&i| {
+            let s = &self.window[i];
+            s.inst.op == OpClass::Store
+                && s.inst
+                    .mem
+                    .map(|m| m.addr.word_index() == word)
+                    .unwrap_or(false)
+        })
     }
 
     /// Runs one cycle. `completions` are this cycle's memory completions
@@ -243,7 +241,9 @@ impl OoOCore {
     fn commit(&mut self, now: Cycle, mem: &mut MemorySystem) -> u64 {
         let mut committed = 0;
         while committed < self.config.commit_width as u64 {
-            let Some(head) = self.window.front() else { break };
+            let Some(head) = self.window.front() else {
+                break;
+            };
             if !head.completed() {
                 break;
             }
@@ -294,12 +294,10 @@ impl OoOCore {
                     // LSQ disambiguation: forward from (or wait on) the
                     // youngest older overlapping store.
                     if let Some(st) = self.older_store_conflict(idx, m.addr) {
-                        if self.window[st].completed() {
-                            if self.fus.try_issue(OpClass::Load, now) {
-                                self.window[idx].state = SlotState::Executing(now + 1);
-                                self.stats.loads_forwarded += 1;
-                                issued += 1;
-                            }
+                        if self.window[st].completed() && self.fus.try_issue(OpClass::Load, now) {
+                            self.window[idx].state = SlotState::Executing(now + 1);
+                            self.stats.loads_forwarded += 1;
+                            issued += 1;
                         }
                         continue; // store not executed yet: wait
                     }
@@ -319,9 +317,7 @@ impl OoOCore {
                         }
                         Err(reason) => {
                             self.stats.cache_reject_stalls += 1;
-                            if lsq_backpressure
-                                || matches!(reason, IssueRejection::PortBusy)
-                            {
+                            if lsq_backpressure || matches!(reason, IssueRejection::PortBusy) {
                                 mem_path_blocked = true;
                             }
                         }
@@ -351,7 +347,9 @@ impl OoOCore {
                 self.stats.window_full_stalls += 1;
                 break;
             }
-            let Some(inst) = self.fetch_buffer.front() else { break };
+            let Some(inst) = self.fetch_buffer.front() else {
+                break;
+            };
             if inst.op.is_mem() {
                 if self.lsq_used >= self.config.lsq_entries {
                     self.stats.lsq_full_stalls += 1;
@@ -370,7 +368,12 @@ impl OoOCore {
         }
     }
 
-    fn fetch(&mut self, now: Cycle, mem: &mut MemorySystem, trace: &mut dyn Iterator<Item = TraceInst>) {
+    fn fetch(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        trace: &mut dyn Iterator<Item = TraceInst>,
+    ) {
         if self.trace_done {
             return;
         }
@@ -455,7 +458,12 @@ mod tests {
     /// Pre-warms the I-line of the first instruction (so tests exercise
     /// scheduling, not cold-start I-misses), then drives the core to
     /// drain. Returns the core-loop cycle count (excluding the warmup).
-    fn run(core: &mut OoOCore, mem: &mut MemorySystem, insts: Vec<TraceInst>, max_cycles: u64) -> u64 {
+    fn run(
+        core: &mut OoOCore,
+        mem: &mut MemorySystem,
+        insts: Vec<TraceInst>,
+        max_cycles: u64,
+    ) -> u64 {
         let mut start = 0u64;
         if let Some(first) = insts.first() {
             mem.begin_cycle(Cycle::ZERO);
@@ -624,7 +632,12 @@ mod tests {
     #[test]
     fn stores_commit_and_land_in_memory() {
         let a = Addr::new(0x28_0000);
-        let insts = vec![TraceInst::store(Addr::new(0x40_0000), a, 0xCAFE, [None, None])];
+        let insts = vec![TraceInst::store(
+            Addr::new(0x40_0000),
+            a,
+            0xCAFE,
+            [None, None],
+        )];
         let mut core = OoOCore::new(CoreConfig::baseline());
         let mut m = mem();
         run(&mut core, &mut m, insts, 20_000);

@@ -130,7 +130,10 @@ mod tests {
         for _ in 0..8 {
             assert!(p.try_issue(OpClass::IntAlu, Cycle::ZERO));
         }
-        assert!(!p.try_issue(OpClass::IntAlu, Cycle::ZERO), "9th IntAlu refused");
+        assert!(
+            !p.try_issue(OpClass::IntAlu, Cycle::ZERO),
+            "9th IntAlu refused"
+        );
         // Other classes unaffected.
         assert!(p.try_issue(OpClass::FpAlu, Cycle::ZERO));
         p.begin_cycle();
@@ -151,7 +154,10 @@ mod tests {
             "all dividers busy"
         );
         p.begin_cycle();
-        assert!(p.try_issue(OpClass::IntMult, Cycle::new(20)), "freed after 20 cycles");
+        assert!(
+            p.try_issue(OpClass::IntMult, Cycle::new(20)),
+            "freed after 20 cycles"
+        );
     }
 
     #[test]

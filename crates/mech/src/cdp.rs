@@ -15,8 +15,8 @@
 //! pointer-dense nodes trigger floods of depth-3 prefetches (speedup 0.75).
 
 use microlib_model::{
-    AccessEvent, Addr, AttachPoint, HardwareBudget, Mechanism, MechanismStats,
-    PrefetchDestination, PrefetchQueue, PrefetchRequest, RefillEvent, SramTable,
+    AccessEvent, Addr, AttachPoint, HardwareBudget, Mechanism, MechanismStats, PrefetchDestination,
+    PrefetchQueue, PrefetchRequest, RefillEvent, SramTable,
 };
 use std::collections::HashMap;
 
@@ -170,7 +170,9 @@ mod tests {
         let mut q = PrefetchQueue::new(128);
         let words = [0u64, HEAP + 0x2040, 7, 0, HEAP + 0x8000, 0, 0, 0];
         cdp.on_refill(&refill(HEAP + 0x1000, &words, RefillCause::Demand), &mut q);
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert_eq!(targets, vec![HEAP + 0x2040, HEAP + 0x8000]);
         assert_eq!(cdp.pointer_candidates(), 2);
     }
@@ -181,7 +183,10 @@ mod tests {
         let mut q = PrefetchQueue::new(128);
         // Random data has the high bit set / different region.
         let words = [0x8000_0000_0000_0001u64, 0xdead_beef_cafe_f00d, 0, 42];
-        cdp.on_refill(&refill(HEAP + 0x1000, &words[..4], RefillCause::Demand), &mut q);
+        cdp.on_refill(
+            &refill(HEAP + 0x1000, &words[..4], RefillCause::Demand),
+            &mut q,
+        );
         assert!(q.is_empty());
     }
 
@@ -195,9 +200,15 @@ mod tests {
         let (b, c, d) = (HEAP + 0x100, HEAP + 0x200, HEAP + 0x300);
         cdp.on_refill(&refill(a, &[b, 0, 0, 0], RefillCause::Demand), &mut q);
         assert_eq!(q.pop().unwrap().line.raw(), b & !63);
-        cdp.on_refill(&refill(b & !63, &[c, 0, 0, 0], RefillCause::Prefetch), &mut q);
+        cdp.on_refill(
+            &refill(b & !63, &[c, 0, 0, 0], RefillCause::Prefetch),
+            &mut q,
+        );
         assert_eq!(q.pop().unwrap().line.raw(), c & !63);
-        cdp.on_refill(&refill(c & !63, &[d, 0, 0, 0], RefillCause::Prefetch), &mut q);
+        cdp.on_refill(
+            &refill(c & !63, &[d, 0, 0, 0], RefillCause::Prefetch),
+            &mut q,
+        );
         assert!(q.is_empty(), "depth threshold must stop the chase");
     }
 
@@ -206,7 +217,10 @@ mod tests {
         let mut cdp = ContentDirectedPrefetcher::new();
         let mut q = PrefetchQueue::new(128);
         let line = HEAP + 0x40;
-        cdp.on_refill(&refill(line, &[line + 8, 0, 0, 0], RefillCause::Demand), &mut q);
+        cdp.on_refill(
+            &refill(line, &[line + 8, 0, 0, 0], RefillCause::Demand),
+            &mut q,
+        );
         assert!(q.is_empty(), "pointer into the same line is not useful");
     }
 

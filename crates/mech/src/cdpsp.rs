@@ -8,8 +8,7 @@
 use crate::cdp::ContentDirectedPrefetcher;
 use crate::sp::StridePrefetcher;
 use microlib_model::{
-    AccessEvent, AttachPoint, HardwareBudget, Mechanism, MechanismStats, PrefetchQueue,
-    RefillEvent,
+    AccessEvent, AttachPoint, HardwareBudget, Mechanism, MechanismStats, PrefetchQueue, RefillEvent,
 };
 
 /// The combined stride + content-directed prefetcher.
@@ -143,7 +142,9 @@ mod tests {
         for i in 0..3u64 {
             combo.on_access(&miss(0x400, 0x10_000 + i * 256), &mut q);
         }
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert!(targets.contains(&(0x10_000 + 3 * 256)), "{targets:x?}");
     }
 

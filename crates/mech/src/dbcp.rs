@@ -310,7 +310,9 @@ mod tests {
         d.on_access(&access(0x400, 0x1000, AccessOutcome::Miss), &mut q);
         d.on_access(&access(0x404, 0x1000, AccessOutcome::Hit), &mut q);
         d.on_access(&access(0x408, 0x1000, AccessOutcome::Hit), &mut q);
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert!(targets.contains(&0x9000), "targets {targets:x?}");
     }
 
@@ -343,8 +345,13 @@ mod tests {
         d.on_access(&access(0x400, 0x1000, AccessOutcome::Miss), &mut q);
         d.on_access(&access(0x404, 0x1000, AccessOutcome::Hit), &mut q);
         d.on_access(&access(0x408, 0x1000, AccessOutcome::Hit), &mut q);
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
-        assert!(!targets.contains(&0x9000), "stale target must fade: {targets:x?}");
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
+        assert!(
+            !targets.contains(&0x9000),
+            "stale target must fade: {targets:x?}"
+        );
     }
 
     #[test]
@@ -360,7 +367,9 @@ mod tests {
         d.on_access(&access(0x400, 0x1000, AccessOutcome::Miss), &mut q);
         d.on_access(&access(0x404, 0x1000, AccessOutcome::Hit), &mut q);
         d.on_access(&access(0x408, 0x1000, AccessOutcome::Hit), &mut q);
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert!(
             targets.contains(&0x9000),
             "bug #3: stale prediction survives forever: {targets:x?}"
@@ -372,6 +381,9 @@ mod tests {
         let f = DeadBlockPrefetcher::new(DbcpVariant::Fixed);
         let i = DeadBlockPrefetcher::new(DbcpVariant::Initial);
         assert_ne!(f.name(), i.name());
-        assert_eq!(f.hardware().total_bits(), 2 * i.hardware().total_bits() - 1024 * 16);
+        assert_eq!(
+            f.hardware().total_bits(),
+            2 * i.hardware().total_bits() - 1024 * 16
+        );
     }
 }

@@ -133,8 +133,7 @@ impl Mechanism for GlobalHistoryBuffer {
         // Append to the buffer and relink the IT.
         let prev = self.index.peek(&pc).copied();
         let seq = self.head;
-        self.buffer[(seq % self.buffer_entries as u64) as usize] =
-            Some(GhbEntry { addr, prev });
+        self.buffer[(seq % self.buffer_entries as u64) as usize] = Some(GhbEntry { addr, prev });
         self.head += 1;
         self.index.insert(pc, seq);
         self.stats.table_writes += 2;
@@ -252,7 +251,9 @@ mod tests {
         for i in 0..3u64 {
             ghb.on_access(&miss(0x400, 0x10_0000 + i * 0x100), &mut q);
         }
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert_eq!(targets.len(), 4, "degree-4: {targets:x?}");
         assert_eq!(targets[0], 0x10_0300);
         assert_eq!(targets[3], 0x10_0600);
@@ -267,7 +268,9 @@ mod tests {
             ghb.on_access(&miss(0x400, 0x10_0000 + i * 0x100), &mut q);
             ghb.on_access(&miss(0x408, 0x50_0000 + i * 0x40), &mut q);
         }
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert!(targets.contains(&0x10_0300));
         assert!(targets.contains(&0x50_00C0));
     }
@@ -285,7 +288,9 @@ mod tests {
             addr += d;
             ghb.on_access(&miss(0x500, addr), &mut q);
         }
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert!(
             targets.iter().any(|t| *t == (addr + 0x40) & !63),
             "delta correlation should predict +0x40 next: {targets:x?}"
@@ -328,6 +333,10 @@ mod tests {
     #[test]
     fn hardware_is_tiny() {
         let hw = GlobalHistoryBuffer::new().hardware();
-        assert!(hw.total_bytes() < 4 * 1024, "GHB tables are small: {}", hw.total_bytes());
+        assert!(
+            hw.total_bytes() < 4 * 1024,
+            "GHB tables are small: {}",
+            hw.total_bytes()
+        );
     }
 }

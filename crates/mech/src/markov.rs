@@ -59,7 +59,11 @@ impl MarkovPrefetcher {
     }
 
     /// Custom geometry (sensitivity studies).
-    pub fn with_geometry(table_entries: usize, predictions_per_entry: usize, buffer_lines: usize) -> Self {
+    pub fn with_geometry(
+        table_entries: usize,
+        predictions_per_entry: usize,
+        buffer_lines: usize,
+    ) -> Self {
         MarkovPrefetcher {
             table: AssocTable::new(table_entries.next_power_of_two(), 1),
             table_entries,
@@ -141,8 +145,16 @@ impl Mechanism for MarkovPrefetcher {
         }
         // If the chain is shorter than the skip distance, fall back to the
         // shallow predictions rather than staying silent.
-        let skip = if walk.len() > SKIP_AHEAD { SKIP_AHEAD } else { 0 };
-        let mut targets: Vec<u64> = walk.into_iter().skip(skip).take(self.predictions_per_entry).collect();
+        let skip = if walk.len() > SKIP_AHEAD {
+            SKIP_AHEAD
+        } else {
+            0
+        };
+        let mut targets: Vec<u64> = walk
+            .into_iter()
+            .skip(skip)
+            .take(self.predictions_per_entry)
+            .collect();
         for alt in alternatives {
             if targets.len() >= self.predictions_per_entry {
                 break;
@@ -259,7 +271,9 @@ mod tests {
         q.clear();
         // Second pass: after re-missing 0x1000, successor 0x2000 predicted.
         m.on_access(&miss(0x1000), &mut q);
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert!(targets.contains(&0x2000), "targets: {targets:x?}");
     }
 
@@ -275,7 +289,9 @@ mod tests {
         m.on_access(&miss(0x9000), &mut q); // decouple last_miss
         q.clear();
         m.on_access(&miss(0x1000), &mut q);
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert_eq!(targets.len(), 4, "at most 4 predictions: {targets:x?}");
         assert!(!targets.contains(&0x2000), "oldest successor dropped");
     }

@@ -58,7 +58,9 @@ impl MechanismKind {
     /// order.
     pub fn study_set() -> [MechanismKind; 13] {
         use MechanismKind::*;
-        [Base, Tp, Vc, Sp, Markov, Fvc, Dbcp, Tkvc, Tk, Cdp, CdpSp, Tcp, Ghb]
+        [
+            Base, Tp, Vc, Sp, Markov, Fvc, Dbcp, Tkvc, Tk, Cdp, CdpSp, Tcp, Ghb,
+        ]
     }
 
     /// Builds a fresh instance of the mechanism.
@@ -237,7 +239,20 @@ impl MechanismKind {
     pub fn by_acronym(acronym: &str) -> Option<MechanismKind> {
         use MechanismKind::*;
         let all = [
-            Base, Tp, Vc, Sp, Markov, Fvc, Dbcp, DbcpInitial, Tkvc, Tk, Cdp, CdpSp, Tcp, Ghb,
+            Base,
+            Tp,
+            Vc,
+            Sp,
+            Markov,
+            Fvc,
+            Dbcp,
+            DbcpInitial,
+            Tkvc,
+            Tk,
+            Cdp,
+            CdpSp,
+            Tcp,
+            Ghb,
         ];
         all.into_iter()
             .find(|k| k.catalog().acronym.eq_ignore_ascii_case(acronym))

@@ -250,9 +250,11 @@ mod tests {
             sp.on_access(&miss(0x700, 0x3_0000 + i * 128), &mut q);
             sp.on_access(&miss(0x704, 0x9_0000 + i * 512), &mut q);
         }
-        let lines: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
-        assert!(lines.contains(&(0x3_0000 + 4 * 128 & !63)));
-        assert!(lines.contains(&(0x9_0000 + 4 * 512 & !63)));
+        let lines: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
+        assert!(lines.contains(&((0x3_0000 + 4 * 128) & !63)));
+        assert!(lines.contains(&((0x9_0000 + 4 * 512) & !63)));
     }
 
     #[test]

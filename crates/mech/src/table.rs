@@ -42,7 +42,10 @@ impl<V> AssocTable<V> {
     /// Panics if `sets` is zero or not a power of two.
     pub fn new(sets: usize, ways: usize) -> Self {
         let (sets, ways) = if ways == 0 { (1, sets) } else { (sets, ways) };
-        assert!(sets > 0 && sets.is_power_of_two(), "sets must be a power of two");
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a power of two"
+        );
         assert!(ways > 0, "ways must be positive");
         AssocTable {
             sets,
@@ -127,7 +130,11 @@ impl<V> AssocTable<V> {
         }
         // Free slot.
         if let Some(slot) = self.slots[range.clone()].iter_mut().find(|s| s.is_none()) {
-            *slot = Some(Slot { key, value, lru: clock });
+            *slot = Some(Slot {
+                key,
+                value,
+                lru: clock,
+            });
             return None;
         }
         // Evict LRU.
@@ -136,7 +143,11 @@ impl<V> AssocTable<V> {
             .min_by_key(|i| self.slots[*i].as_ref().map(|s| s.lru).unwrap_or(0))
             .expect("nonempty range");
         let old = self.slots[victim_idx].take().map(|s| (s.key, s.value));
-        self.slots[victim_idx] = Some(Slot { key, value, lru: clock });
+        self.slots[victim_idx] = Some(Slot {
+            key,
+            value,
+            lru: clock,
+        });
         old
     }
 
@@ -145,7 +156,11 @@ impl<V> AssocTable<V> {
         let set = self.set_of(*key);
         let range = self.range(set);
         for i in range {
-            if self.slots[i].as_ref().map(|s| s.key == *key).unwrap_or(false) {
+            if self.slots[i]
+                .as_ref()
+                .map(|s| s.key == *key)
+                .unwrap_or(false)
+            {
                 return self.slots[i].take().map(|s| s.value);
             }
         }

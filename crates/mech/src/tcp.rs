@@ -199,7 +199,9 @@ mod tests {
         // Replaying a then b: the PHT predicts c.
         tcp.on_access(&miss(a), &mut q);
         tcp.on_access(&miss(b), &mut q);
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert!(targets.contains(&c), "targets {targets:x?}");
     }
 

@@ -173,7 +173,7 @@ impl Mechanism for TimekeepingPrefetcher {
         // Refresh scan: every REFRESH_INTERVAL cycles, look for lines whose
         // idle time crossed the death threshold and schedule the prefetch
         // of their recorded replacement.
-        if now.raw() % REFRESH_INTERVAL != 0 || now.raw() == 0 {
+        if !now.raw().is_multiple_of(REFRESH_INTERVAL) || now.raw() == 0 {
             return;
         }
         let mut dead_lines = Vec::new();
@@ -289,7 +289,9 @@ mod tests {
         tk.tick(Cycle::new(1536));
         // Prediction drains on the next access event.
         tk.on_access(&hit(0x3000, 1537), &mut q);
-        let targets: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let targets: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         assert!(targets.contains(&0x9000), "targets {targets:x?}");
     }
 
@@ -333,7 +335,9 @@ mod tests {
         tk.on_access(&hit(0x1000, 20), &mut q);
         tk.tick(Cycle::new(1536));
         tk.on_access(&hit(0x9000, 1537), &mut q);
-        let first: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|r| r.line.raw()).collect();
+        let first: Vec<u64> = std::iter::from_fn(|| q.pop())
+            .map(|r| r.line.raw())
+            .collect();
         tk.tick(Cycle::new(2048));
         tk.on_access(&hit(0x9000, 2049), &mut q);
         assert!(q.is_empty(), "no duplicate death prediction");

@@ -94,7 +94,8 @@ impl Mechanism for TimekeepingVictimCache {
         if let Some(evicted) = self.evicted_at.remove(&line) {
             let dead_time = event.now.since(evicted);
             self.stats.table_writes += 1;
-            self.reuse_predictor.insert(line, dead_time <= REUSE_THRESHOLD);
+            self.reuse_predictor
+                .insert(line, dead_time <= REUSE_THRESHOLD);
         }
     }
 
@@ -242,7 +243,10 @@ mod tests {
         let mut q = PrefetchQueue::new(4);
         tkvc.on_evict(&evict(0x2000, 10));
         tkvc.on_access(&miss(0x2000, 10 + REUSE_THRESHOLD + 100), &mut q);
-        assert_eq!(tkvc.on_evict(&evict(0x2000, 200_000)), VictimAction::Dropped);
+        assert_eq!(
+            tkvc.on_evict(&evict(0x2000, 200_000)),
+            VictimAction::Dropped
+        );
     }
 
     #[test]

@@ -176,7 +176,10 @@ mod tests {
     #[test]
     fn captures_and_serves_victims() {
         let mut vc = VictimCache::new();
-        assert_eq!(vc.on_evict(&evict(0x1000, false, 7)), VictimAction::Captured);
+        assert_eq!(
+            vc.on_evict(&evict(0x1000, false, 7)),
+            VictimAction::Captured
+        );
         let hit = vc.probe(Addr::new(0x1000), Cycle::ZERO).unwrap();
         assert_eq!(hit.data.word(0), 7);
         assert_eq!(hit.extra_latency, 1);

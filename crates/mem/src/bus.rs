@@ -64,7 +64,11 @@ impl Bus {
     /// Reserves the bus for a transfer of `bytes` starting no earlier than
     /// `now`; returns the cycle at which the payload arrives.
     pub fn reserve(&mut self, now: Cycle, bytes: u64) -> Cycle {
-        let start = if self.busy_until > now { self.busy_until } else { now };
+        let start = if self.busy_until > now {
+            self.busy_until
+        } else {
+            now
+        };
         let duration = self.config.cycles_for(bytes);
         self.stats.transfers += 1;
         self.stats.busy_cycles += duration;
@@ -127,7 +131,7 @@ mod tests {
         bus.reserve(Cycle::new(0), 64);
         let later = bus.reserve(Cycle::new(100), 64);
         assert_eq!(later.raw(), 105);
-        assert_eq!(bus.stats().wait_cycles, 0 + 0);
+        assert_eq!(bus.stats().wait_cycles, 0);
     }
 
     #[test]

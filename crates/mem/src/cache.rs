@@ -126,7 +126,10 @@ impl CacheArray {
     #[inline]
     pub fn index_of(&self, addr: Addr) -> (usize, u64) {
         let line = addr.raw() >> self.line_shift;
-        ((line & self.set_mask) as usize, line >> self.set_mask.count_ones())
+        (
+            (line & self.set_mask) as usize,
+            line >> self.set_mask.count_ones(),
+        )
     }
 
     /// Reconstructs the line-aligned address for (set, tag).
@@ -205,7 +208,13 @@ impl CacheArray {
 
     /// Overwrites the whole line's data (writeback payload from above);
     /// the caller chooses whether this dirties the line.
-    pub fn write_line(&mut self, addr: Addr, offset_words: usize, words: &[u64], dirty: bool) -> bool {
+    pub fn write_line(
+        &mut self,
+        addr: Addr,
+        offset_words: usize,
+        words: &[u64],
+        dirty: bool,
+    ) -> bool {
         let Some((set, way)) = self.find(addr) else {
             return false;
         };
@@ -254,7 +263,13 @@ impl CacheArray {
     ///
     /// Panics (in debug builds) if the line is already present — the
     /// hierarchy must never double-fill.
-    pub fn fill(&mut self, addr: Addr, data: LineData, dirty: bool, prefetched: bool) -> Option<Victim> {
+    pub fn fill(
+        &mut self,
+        addr: Addr,
+        data: LineData,
+        dirty: bool,
+        prefetched: bool,
+    ) -> Option<Victim> {
         debug_assert!(
             !self.contains(addr),
             "double fill of line {:#x} in {}",
@@ -267,7 +282,9 @@ impl CacheArray {
         let slot = &mut self.sets[set][way];
         let victim = if slot.valid {
             Some(Victim {
-                line: Addr::new(((slot.tag << self.set_mask.count_ones()) | set as u64) << self.line_shift),
+                line: Addr::new(
+                    ((slot.tag << self.set_mask.count_ones()) | set as u64) << self.line_shift,
+                ),
                 dirty: slot.dirty,
                 data: slot.data,
                 untouched_prefetch: slot.prefetched && !slot.touched,
@@ -321,9 +338,9 @@ impl CacheArray {
         let shift = self.set_mask.count_ones();
         let line_shift = self.line_shift;
         self.sets.iter().enumerate().flat_map(move |(set, ways)| {
-            ways.iter().filter(|w| w.valid).map(move |w| {
-                Addr::new(((w.tag << shift) | set as u64) << line_shift)
-            })
+            ways.iter()
+                .filter(|w| w.valid)
+                .map(move |w| Addr::new(((w.tag << shift) | set as u64) << line_shift))
         })
     }
 
@@ -385,7 +402,7 @@ mod tests {
     #[test]
     fn lru_evicts_least_recent() {
         let mut c = tiny(2); // 4 sets × 2 ways, 32B lines
-        // Three lines mapping to set 0: addresses 0, 128, 256 (set = (a>>5)&3).
+                             // Three lines mapping to set 0: addresses 0, 128, 256 (set = (a>>5)&3).
         let (a, b, d) = (Addr::new(0), Addr::new(128), Addr::new(256));
         c.fill(a, LineData::zeroed(4), false, false);
         c.fill(b, LineData::zeroed(4), false, false);
@@ -397,7 +414,7 @@ mod tests {
 
     #[test]
     fn fifo_ignores_recency() {
-        let mut c = tiny(2);
+        let c = tiny(2);
         let mut cfg = c.config().clone();
         cfg.replacement = Replacement::Fifo;
         let mut c2 = CacheArray::new(cfg).unwrap();
@@ -418,7 +435,9 @@ mod tests {
         c.fill(a, LineData::from_words(&[1, 2, 3, 4]), false, false);
         assert!(c.write_word(Addr::new(0x48), 99));
         let conflicting = Addr::new(0x40 + 256); // same set
-        let victim = c.fill(conflicting, LineData::zeroed(4), false, false).unwrap();
+        let victim = c
+            .fill(conflicting, LineData::zeroed(4), false, false)
+            .unwrap();
         assert!(victim.dirty);
         assert_eq!(victim.data.word(1), 99);
         assert_eq!(victim.line, a);

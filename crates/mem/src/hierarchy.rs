@@ -26,8 +26,8 @@ use crate::sdram::{MainMemory, MemToken};
 use microlib_model::{
     AccessEvent, AccessKind, AccessOutcome, Addr, AttachPoint, CacheStats, ConfigError, Cycle,
     EvictEvent, FidelityConfig, LineData, Mechanism, MechanismStats, MemoryStats,
-    PrefetchDestination, PrefetchQueue, PrefetchQueueStats, RefillCause, RefillEvent,
-    SystemConfig, VictimAction,
+    PrefetchDestination, PrefetchQueue, PrefetchQueueStats, RefillCause, RefillEvent, SystemConfig,
+    VictimAction,
 };
 use std::collections::{HashMap, VecDeque};
 
@@ -91,7 +91,9 @@ enum Origin {
     /// Cache-destined L1 prefetch (holds an L1 MSHR entry).
     L1Prefetch,
     /// Buffer-destined L1 prefetch (dedicated path, no L1 MSHR entry).
-    L1BufferPrefetch { l1_line: Addr },
+    L1BufferPrefetch {
+        l1_line: Addr,
+    },
     L2Prefetch,
 }
 
@@ -394,8 +396,10 @@ impl MemorySystem {
     #[inline]
     fn traced(&self, line: Addr) -> bool {
         self.trace_line
-            .map(|t| t.line(self.config.l1d.line_bytes) == line.line(self.config.l1d.line_bytes)
-                || t.line(self.config.l2.line_bytes) == line.line(self.config.l2.line_bytes))
+            .map(|t| {
+                t.line(self.config.l1d.line_bytes) == line.line(self.config.l1d.line_bytes)
+                    || t.line(self.config.l2.line_bytes) == line.line(self.config.l2.line_bytes)
+            })
             .unwrap_or(false)
     }
 
@@ -433,7 +437,10 @@ impl MemorySystem {
     /// Applies a 32-byte writeback from L1 (or a sidecar spill) into the L2
     /// array, allocating on write if the line is absent (Table 1 policy).
     fn apply_writeback_to_l2(&mut self, l1_line: Addr, data: &LineData) {
-        self.trace_event(l1_line, &format!("writeback to L2 word0={:#x}", data.word(0)));
+        self.trace_event(
+            l1_line,
+            &format!("writeback to L2 word0={:#x}", data.word(0)),
+        );
         if self.fault_drop_writebacks {
             return;
         }
@@ -486,7 +493,9 @@ impl MemorySystem {
             self.l1i.array.invalidate(l1_line);
         }
         if victim.dirty && !self.fault_drop_writebacks {
-            self.functional.dram_mut().write_line(victim.line, &victim.data);
+            self.functional
+                .dram_mut()
+                .write_line(victim.line, &victim.data);
             if !self.warming {
                 // Timing: memory-bus transfer + SDRAM write.
                 self.mem_bus.reserve(self.now, victim.data.byte_len());
@@ -505,7 +514,14 @@ impl MemorySystem {
 
     /// Handles an L1D victim: offer to the mechanism, else write back.
     fn handle_l1_victim(&mut self, victim: Victim) {
-        self.trace_event(victim.line, &format!("L1 evict dirty={} word0={:#x}", victim.dirty, victim.data.word(0)));
+        self.trace_event(
+            victim.line,
+            &format!(
+                "L1 evict dirty={} word0={:#x}",
+                victim.dirty,
+                victim.data.word(0)
+            ),
+        );
         if victim.untouched_prefetch {
             self.l1d.stats.useless_prefetch_evictions += 1;
         }
@@ -519,7 +535,11 @@ impl MemorySystem {
         if let Some(slot) = &mut self.l1_mech {
             if slot.mech.on_evict(&ev) == VictimAction::Captured {
                 if self.traced(ev.line) {
-                    eprintln!("[{}] {:#x}: victim CAPTURED by mechanism", self.now.raw(), ev.line.raw());
+                    eprintln!(
+                        "[{}] {:#x}: victim CAPTURED by mechanism",
+                        self.now.raw(),
+                        ev.line.raw()
+                    );
                 }
                 return; // mechanism owns the line (and its dirty data) now
             }
@@ -540,7 +560,12 @@ impl MemorySystem {
     ///
     /// Returns an [`IssueRejection`] when structural hazards refuse the
     /// access this cycle; the caller retries later.
-    pub fn try_load(&mut self, pc: Addr, addr: Addr, now: Cycle) -> Result<IssueResult, IssueRejection> {
+    pub fn try_load(
+        &mut self,
+        pc: Addr,
+        addr: Addr,
+        now: Cycle,
+    ) -> Result<IssueResult, IssueRejection> {
         self.data_access(pc, addr, AccessKind::Load, 0, now)
     }
 
@@ -586,12 +611,7 @@ impl MemorySystem {
         if !is_hit {
             // Same-line, different-address miss pair in one cycle stalls
             // the pipelined cache (paper §2.2).
-            if fidelity.pipeline_stalls
-                && self
-                    .l1d
-                    .miss_lines_this_cycle
-                    .contains(&line.raw())
-            {
+            if fidelity.pipeline_stalls && self.l1d.miss_lines_this_cycle.contains(&line.raw()) {
                 self.l1d.stalled_until = now + 1;
                 self.l1d.stats.pipeline_stalls += 1;
                 return Err(IssueRejection::CacheStalled);
@@ -610,7 +630,15 @@ impl MemorySystem {
                         self.l1d.stats.useful_prefetches += 1;
                     }
                     self.check_value(addr, value);
-                    self.fire_l1_access(pc, addr, line, kind, AccessOutcome::Hit, hit.first_touch_of_prefetch, value);
+                    self.fire_l1_access(
+                        pc,
+                        addr,
+                        line,
+                        kind,
+                        AccessOutcome::Hit,
+                        hit.first_touch_of_prefetch,
+                        value,
+                    );
                     Ok(IssueResult::Done {
                         at: now + self.config.l1d.latency,
                         value,
@@ -624,7 +652,15 @@ impl MemorySystem {
                     if hit.first_touch_of_prefetch {
                         self.l1d.stats.useful_prefetches += 1;
                     }
-                    self.fire_l1_access(pc, addr, line, kind, AccessOutcome::Hit, hit.first_touch_of_prefetch, store_value);
+                    self.fire_l1_access(
+                        pc,
+                        addr,
+                        line,
+                        kind,
+                        AccessOutcome::Hit,
+                        hit.first_touch_of_prefetch,
+                        store_value,
+                    );
                     Ok(IssueResult::Done {
                         at: now + self.config.l1d.latency,
                         value: store_value,
@@ -639,7 +675,14 @@ impl MemorySystem {
                 .and_then(|slot| slot.mech.probe(line, now));
             if let Some(hit) = probe {
                 self.l1d.take_port();
-                self.trace_event(line, &format!("sidecar probe HIT ({kind}), dirty={} word0={:#x}", hit.dirty, hit.data.word(0)));
+                self.trace_event(
+                    line,
+                    &format!(
+                        "sidecar probe HIT ({kind}), dirty={} word0={:#x}",
+                        hit.dirty,
+                        hit.data.word(0)
+                    ),
+                );
                 self.l1d.stats.sidecar_hits += 1;
                 match kind {
                     AccessKind::Load => self.l1d.stats.loads += 1,
@@ -667,7 +710,15 @@ impl MemorySystem {
                 if let Some(v) = victim {
                     self.handle_l1_victim(v);
                 }
-                self.fire_l1_access(pc, addr, line, kind, AccessOutcome::SidecarHit, false, value);
+                self.fire_l1_access(
+                    pc,
+                    addr,
+                    line,
+                    kind,
+                    AccessOutcome::SidecarHit,
+                    false,
+                    value,
+                );
                 return Ok(IssueResult::Done {
                     at: now + self.config.l1d.latency + hit.extra_latency,
                     value,
@@ -688,7 +739,10 @@ impl MemorySystem {
                 MshrOutcome::Allocated => {
                     self.next_req += 1;
                     self.l1d.take_port();
-                    self.trace_event(line, &format!("L1 {kind} miss allocated at {:#x}", addr.raw()));
+                    self.trace_event(
+                        line,
+                        &format!("L1 {kind} miss allocated at {:#x}", addr.raw()),
+                    );
                     self.l1d.miss_lines_this_cycle.push(line.raw());
                     self.l1d.stats.misses += 1;
                     match kind {
@@ -698,7 +752,19 @@ impl MemorySystem {
                             self.l1d.stats.stores += 1;
                         }
                     }
-                    self.fire_l1_access(pc, addr, line, kind, AccessOutcome::Miss, false, if kind.is_store() { store_value } else { self.functional.architectural(addr) });
+                    self.fire_l1_access(
+                        pc,
+                        addr,
+                        line,
+                        kind,
+                        AccessOutcome::Miss,
+                        false,
+                        if kind.is_store() {
+                            store_value
+                        } else {
+                            self.functional.architectural(addr)
+                        },
+                    );
                     // Cancel any queued prefetch for this line (demand wins).
                     if let Some(slot) = &mut self.l1_mech {
                         slot.queue.cancel(line);
@@ -806,6 +872,7 @@ impl MemorySystem {
         });
     }
 
+    #[allow(clippy::too_many_arguments)] // the flattened fields of one AccessEvent
     fn fire_l1_access(
         &mut self,
         pc: Addr,
@@ -863,7 +930,9 @@ impl MemorySystem {
             self.warm_l2_fetch(iline.line(self.config.l2.line_bytes), pc, AccessKind::Load);
             let words = (self.config.l1i.line_bytes / 8) as usize;
             if !self.l1i.array.contains(iline) {
-                self.l1i.array.fill(iline, LineData::zeroed(words), false, false);
+                self.l1i
+                    .array
+                    .fill(iline, LineData::zeroed(words), false, false);
             }
         }
         self.l1i.stats.loads += 1;
@@ -884,7 +953,9 @@ impl MemorySystem {
             slot.queue.clear();
             let spills = slot.mech.drain_spills();
             for spill in spills {
-                self.functional.dram_mut().write_line(spill.line, &spill.data);
+                self.functional
+                    .dram_mut()
+                    .write_line(spill.line, &spill.data);
             }
         }
         self.warming = false;
@@ -908,7 +979,11 @@ impl MemorySystem {
                 kind,
                 AccessOutcome::Hit,
                 false,
-                if kind.is_store() { store_value } else { self.functional.architectural(addr) },
+                if kind.is_store() {
+                    store_value
+                } else {
+                    self.functional.architectural(addr)
+                },
             );
             return;
         }
@@ -936,7 +1011,9 @@ impl MemorySystem {
                         LineData::from_words(&l2data.words()[off..off + words])
                     })
                     .unwrap_or_else(|| {
-                        self.functional.dram().read_line(line, self.config.l1d.line_bytes)
+                        self.functional
+                            .dram()
+                            .read_line(line, self.config.l1d.line_bytes)
                     });
                 (data, AccessOutcome::Miss, false)
             }
@@ -948,7 +1025,11 @@ impl MemorySystem {
             kind,
             outcome,
             false,
-            if kind.is_store() { store_value } else { self.functional.architectural(addr) },
+            if kind.is_store() {
+                store_value
+            } else {
+                self.functional.architectural(addr)
+            },
         );
         let victim = self.l1d.array.fill(line, data, dirty, false);
         if kind.is_store() {
@@ -1059,7 +1140,12 @@ impl MemorySystem {
                 break; // controller queue full; retry next cycle
             }
             if !head.is_write {
-                self.mem_inflight.insert(token.0, MemInflight { l2_line: head.l2_line });
+                self.mem_inflight.insert(
+                    token.0,
+                    MemInflight {
+                        l2_line: head.l2_line,
+                    },
+                );
             }
             self.mem_pending.pop_front();
         }
@@ -1105,7 +1191,14 @@ impl MemorySystem {
         let waiters = self.l2_waiters.remove(&l2_line.raw()).unwrap_or_default();
         let was_prefetch = entry.as_ref().map(|e| e.is_prefetch).unwrap_or(false);
         let data = self.functional.dram().read_line(l2_line, 64);
-        self.trace_event(l2_line, &format!("L2 refill word0={:#x} prefetch={}", data.word(0), was_prefetch));
+        self.trace_event(
+            l2_line,
+            &format!(
+                "L2 refill word0={:#x} prefetch={}",
+                data.word(0),
+                was_prefetch
+            ),
+        );
         if !self.l2.array.contains(l2_line) {
             let victim = self.l2.array.fill(l2_line, data, false, was_prefetch);
             if was_prefetch {
@@ -1137,8 +1230,7 @@ impl MemorySystem {
     }
 
     fn pump_l2_queue(&mut self) {
-        loop {
-            let Some(front) = self.l2_queue.front() else { break };
+        while let Some(front) = self.l2_queue.front() {
             let arrival = match front {
                 L2Req::Demand { arrival, .. } => *arrival,
                 L2Req::Writeback { arrival, .. } => *arrival,
@@ -1168,7 +1260,7 @@ impl MemorySystem {
     }
 
     fn process_l2_demand(&mut self, l2_line: Addr, pc: Addr, kind: AccessKind, origin: Origin) {
-        let is_prefetch_origin = matches!(origin, Origin::L1Prefetch { .. } | Origin::L2Prefetch);
+        let is_prefetch_origin = matches!(origin, Origin::L1Prefetch | Origin::L2Prefetch);
         if let Some(hit) = self.l2.array.lookup(l2_line) {
             if !is_prefetch_origin {
                 match kind {
@@ -1178,7 +1270,13 @@ impl MemorySystem {
                 if hit.first_touch_of_prefetch {
                     self.l2.stats.useful_prefetches += 1;
                 }
-                self.fire_l2_access(pc, l2_line, kind, AccessOutcome::Hit, hit.first_touch_of_prefetch);
+                self.fire_l2_access(
+                    pc,
+                    l2_line,
+                    kind,
+                    AccessOutcome::Hit,
+                    hit.first_touch_of_prefetch,
+                );
             }
             // Respond after the L2 hit latency.
             self.schedule_l1_fill_from_l2_delayed(l2_line, origin, self.config.l2.latency);
@@ -1234,7 +1332,10 @@ impl MemorySystem {
                         slot.queue.cancel(l2_line);
                     }
                 }
-                self.l2_waiters.entry(l2_line.raw()).or_default().push(origin);
+                self.l2_waiters
+                    .entry(l2_line.raw())
+                    .or_default()
+                    .push(origin);
                 // Request command to memory.
                 self.mem_bus.reserve(self.now, 8);
                 self.mem_pending.push_back(MemReq {
@@ -1255,7 +1356,10 @@ impl MemorySystem {
                     }
                     self.fire_l2_access(pc, l2_line, kind, AccessOutcome::Miss, false);
                 }
-                self.l2_waiters.entry(l2_line.raw()).or_default().push(origin);
+                self.l2_waiters
+                    .entry(l2_line.raw())
+                    .or_default()
+                    .push(origin);
             }
             MshrOutcome::FullStall | MshrOutcome::BusyStall | MshrOutcome::TargetStall => {
                 // Head-of-line blocking: requeue at the front and retry next
@@ -1276,7 +1380,8 @@ impl MemorySystem {
     fn schedule_l1_fill_from_l2_delayed(&mut self, l2_line: Addr, origin: Origin, delay: u64) {
         if let Origin::L1BufferPrefetch { l1_line } = origin {
             // Buffer fills bypass the MSHR bookkeeping entirely.
-            self.l1_l2_bus.reserve(self.now + delay, self.config.l1d.line_bytes);
+            self.l1_l2_bus
+                .reserve(self.now + delay, self.config.l1d.line_bytes);
             self.l1_fills.push(L1Fill {
                 l1_line,
                 instruction: false,
@@ -1328,7 +1433,11 @@ impl MemorySystem {
             }
             let unit_is_inst = self.l1_fills[i].instruction;
             {
-                let unit = if unit_is_inst { &mut self.l1i } else { &mut self.l1d };
+                let unit = if unit_is_inst {
+                    &mut self.l1i
+                } else {
+                    &mut self.l1d
+                };
                 if self.config.fidelity.refill_uses_port && !unit.port_available() {
                     unit.stats.port_stalls += 1;
                     i += 1;
@@ -1353,7 +1462,9 @@ impl MemorySystem {
         };
         if !self.l1i.array.contains(fill.l1_line) {
             let words = (self.config.l1i.line_bytes / 8) as usize;
-            self.l1i.array.fill(fill.l1_line, LineData::zeroed(words), false, false);
+            self.l1i
+                .array
+                .fill(fill.l1_line, LineData::zeroed(words), false, false);
             self.l1i.stats.demand_fills += 1;
         }
         for t in entry.targets {
@@ -1399,7 +1510,10 @@ impl MemorySystem {
                 self.trace_event(fill.l1_line, "buffer fill discarded (line now L1-resident)");
                 return;
             }
-            self.trace_event(fill.l1_line, &format!("fill -> mech buffer word0={:#x}", data.word(0)));
+            self.trace_event(
+                fill.l1_line,
+                &format!("fill -> mech buffer word0={:#x}", data.word(0)),
+            );
             self.l1d.stats.prefetch_fills += 1;
             if let Some(slot) = &mut self.l1_mech {
                 let ev = RefillEvent {
@@ -1442,7 +1556,14 @@ impl MemorySystem {
             }
         }
 
-        self.trace_event(fill.l1_line, &format!("L1 fill install word0={:#x} targets={}", data.word(0), entry.targets.len()));
+        self.trace_event(
+            fill.l1_line,
+            &format!(
+                "L1 fill install word0={:#x} targets={}",
+                data.word(0),
+                entry.targets.len()
+            ),
+        );
         if !self.l1d.array.contains(fill.l1_line) {
             let prefetched = fill.prefetched && entry.is_prefetch;
             if prefetched {
@@ -1486,7 +1607,10 @@ impl MemorySystem {
     fn finish_buffer_fill(&mut self, fill: L1Fill) {
         self.buffer_inflight.remove(&fill.l1_line.raw());
         if self.l1d.array.contains(fill.l1_line) || self.l1d.mshr.contains(fill.l1_line) {
-            self.trace_event(fill.l1_line, "buffer fill discarded (resident/in-flight demand)");
+            self.trace_event(
+                fill.l1_line,
+                "buffer fill discarded (resident/in-flight demand)",
+            );
             return;
         }
         let data = self
@@ -1503,7 +1627,10 @@ impl MemorySystem {
                     .dram()
                     .read_line(fill.l1_line, self.config.l1d.line_bytes)
             });
-        self.trace_event(fill.l1_line, &format!("fill -> mech buffer word0={:#x}", data.word(0)));
+        self.trace_event(
+            fill.l1_line,
+            &format!("fill -> mech buffer word0={:#x}", data.word(0)),
+        );
         self.l1d.stats.prefetch_fills += 1;
         if let Some(slot) = &mut self.l1_mech {
             let ev = RefillEvent {
@@ -1557,7 +1684,9 @@ impl MemorySystem {
                 break;
             }
             slot.drain_ok += 1;
-            let Some(req) = slot.queue.peek().copied() else { break };
+            let Some(req) = slot.queue.peek().copied() else {
+                break;
+            };
             if self.l1d.array.peek(req.line)
                 || self.l1d.mshr.contains(req.line)
                 || slot.mech.holds(req.line)
@@ -1597,12 +1726,7 @@ impl MemorySystem {
                 .accepted()
             {
                 slot.queue.pop();
-                self.send_miss_to_l2(
-                    req.line,
-                    Addr::NULL,
-                    AccessKind::Load,
-                    Origin::L1Prefetch,
-                );
+                self.send_miss_to_l2(req.line, Addr::NULL, AccessKind::Load, Origin::L1Prefetch);
             } else {
                 break;
             }
@@ -1664,7 +1788,9 @@ impl MemorySystem {
             if from_l1 {
                 self.apply_writeback_to_l2(spill.line, &spill.data);
             } else {
-                self.functional.dram_mut().write_line(spill.line, &spill.data);
+                self.functional
+                    .dram_mut()
+                    .write_line(spill.line, &spill.data);
                 self.mem_bus.reserve(self.now, spill.data.byte_len());
                 self.mem_pending.push_back(MemReq {
                     l2_line: spill.line,
@@ -1768,7 +1894,12 @@ mod tests {
         MemorySystem::new(cfg, Vec::new()).unwrap()
     }
 
-    fn run_to_completion(mem: &mut MemorySystem, req: ReqId, start: Cycle, limit: u64) -> Completion {
+    fn run_to_completion(
+        mem: &mut MemorySystem,
+        req: ReqId,
+        start: Cycle,
+        limit: u64,
+    ) -> Completion {
         let mut now = start;
         for _ in 0..limit {
             now += 1;
@@ -1784,10 +1915,14 @@ mod tests {
     #[test]
     fn l1_hit_after_fill() {
         let mut mem = system(SystemConfig::baseline_constant_memory());
-        mem.functional_mut().initialize_word(Addr::new(0x1000), 0xAA);
+        mem.functional_mut()
+            .initialize_word(Addr::new(0x1000), 0xAA);
         let now = Cycle::ZERO;
         mem.begin_cycle(now);
-        let pending = match mem.try_load(Addr::new(0x40_0000), Addr::new(0x1000), now).unwrap() {
+        let pending = match mem
+            .try_load(Addr::new(0x40_0000), Addr::new(0x1000), now)
+            .unwrap()
+        {
             IssueResult::Pending(id) => id,
             other => panic!("expected miss, got {other:?}"),
         };
@@ -1796,7 +1931,10 @@ mod tests {
         // Second access hits with L1 latency.
         let now = done.at + 1;
         mem.begin_cycle(now);
-        match mem.try_load(Addr::new(0x40_0000), Addr::new(0x1008), now).unwrap() {
+        match mem
+            .try_load(Addr::new(0x40_0000), Addr::new(0x1008), now)
+            .unwrap()
+        {
             IssueResult::Done { at, value } => {
                 assert_eq!(at, now + 1);
                 assert_eq!(value, 0);
@@ -1814,7 +1952,10 @@ mod tests {
         let addr = Addr::new(0x2000);
         let now = Cycle::ZERO;
         mem.begin_cycle(now);
-        let st = match mem.try_store(Addr::new(0x40_0000), addr, 0x77, now).unwrap() {
+        let st = match mem
+            .try_store(Addr::new(0x40_0000), addr, 0x77, now)
+            .unwrap()
+        {
             IssueResult::Pending(id) => id,
             other => panic!("cold store must miss: {other:?}"),
         };
@@ -1888,7 +2029,8 @@ mod tests {
         // Second distinct-line miss in the same cycle hits the MSHR busy
         // window ("the MSHR is not available for one cycle").
         assert_eq!(
-            mem.try_load(Addr::NULL, Addr::new(0x2000), now).unwrap_err(),
+            mem.try_load(Addr::NULL, Addr::new(0x2000), now)
+                .unwrap_err(),
             IssueRejection::MshrUnavailable
         );
     }
@@ -1939,7 +2081,10 @@ mod tests {
                 }
             }
         }
-        assert!(issued > 20, "idealized model should accept many misses, got {issued}");
+        assert!(
+            issued > 20,
+            "idealized model should accept many misses, got {issued}"
+        );
     }
 
     #[test]
@@ -2061,7 +2206,10 @@ mod tests {
         use microlib_model::BaseMechanism;
         let r = MemorySystem::new(
             SystemConfig::baseline(),
-            vec![Box::new(BaseMechanism::new()), Box::new(BaseMechanism::new())],
+            vec![
+                Box::new(BaseMechanism::new()),
+                Box::new(BaseMechanism::new()),
+            ],
         );
         assert!(r.is_err());
     }

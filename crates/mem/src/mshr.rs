@@ -114,7 +114,10 @@ impl MshrFile {
     ///
     /// Panics if either parameter is zero.
     pub fn new(entries: u32, targets_per_entry: u32) -> Self {
-        assert!(entries > 0 && targets_per_entry > 0, "MSHR geometry must be positive");
+        assert!(
+            entries > 0 && targets_per_entry > 0,
+            "MSHR geometry must be positive"
+        );
         MshrFile {
             entries: Vec::with_capacity(entries as usize),
             capacity: Some(entries as usize),
@@ -279,7 +282,9 @@ mod tests {
     fn busy_cycle_after_allocation() {
         let mut m = MshrFile::new(8, 4);
         let now = Cycle::new(5);
-        assert!(m.try_insert(Addr::new(0x100), t(0x100), false, false, now).accepted());
+        assert!(m
+            .try_insert(Addr::new(0x100), t(0x100), false, false, now)
+            .accepted());
         // Same cycle: busy.
         assert_eq!(
             m.try_insert(Addr::new(0x200), t(0x200), false, false, now),
@@ -297,8 +302,12 @@ mod tests {
         let mut m = MshrFile::new(8, 2);
         m.set_model_busy_cycle(false);
         let line = Addr::new(0x300);
-        assert!(m.try_insert(line, t(0x300), false, false, Cycle::new(0)).accepted());
-        assert!(m.try_insert(line, t(0x308), false, false, Cycle::new(1)).accepted());
+        assert!(m
+            .try_insert(line, t(0x300), false, false, Cycle::new(0))
+            .accepted());
+        assert!(m
+            .try_insert(line, t(0x308), false, false, Cycle::new(1))
+            .accepted());
         assert_eq!(
             m.try_insert(line, t(0x310), false, false, Cycle::new(2)),
             MshrOutcome::TargetStall
@@ -310,8 +319,12 @@ mod tests {
     fn capacity_exhausts() {
         let mut m = MshrFile::new(2, 4);
         m.set_model_busy_cycle(false);
-        assert!(m.try_insert(Addr::new(0x000), t(0), false, false, Cycle::new(0)).accepted());
-        assert!(m.try_insert(Addr::new(0x100), t(0x100), false, false, Cycle::new(1)).accepted());
+        assert!(m
+            .try_insert(Addr::new(0x000), t(0), false, false, Cycle::new(0))
+            .accepted());
+        assert!(m
+            .try_insert(Addr::new(0x100), t(0x100), false, false, Cycle::new(1))
+            .accepted());
         assert_eq!(
             m.try_insert(Addr::new(0x200), t(0x200), false, false, Cycle::new(2)),
             MshrOutcome::FullStall
@@ -346,7 +359,9 @@ mod tests {
         };
         assert!(m.try_insert(line, pf, true, true, Cycle::new(0)).accepted());
         assert!(m.is_prefetch_inflight(line));
-        assert!(m.try_insert(line, t(0x404), false, false, Cycle::new(1)).accepted());
+        assert!(m
+            .try_insert(line, t(0x404), false, false, Cycle::new(1))
+            .accepted());
         assert!(!m.is_prefetch_inflight(line));
         let entry = m.complete(line).unwrap();
         assert!(!entry.is_prefetch);

@@ -9,7 +9,9 @@
 //! the latter being the one the paper "retained [because it] significantly
 //! reduces conflicts in row buffers". Refresh is avoided, as in Table 1.
 
-use microlib_model::{Addr, BankInterleave, Cycle, MemoryModel, MemoryStats, SdramConfig, SdramSchedule};
+use microlib_model::{
+    Addr, BankInterleave, Cycle, MemoryModel, MemoryStats, SdramConfig, SdramSchedule,
+};
 use std::collections::VecDeque;
 
 /// Opaque token identifying a memory transaction to the hierarchy.
@@ -200,7 +202,11 @@ impl Sdram {
             let (bank_idx, row) = self.map(p.line);
             let cfg = self.config;
             let bank = &mut self.banks[bank_idx];
-            let start = if bank.ready_at > now { bank.ready_at } else { now };
+            let start = if bank.ready_at > now {
+                bank.ready_at
+            } else {
+                now
+            };
             let data_ready = match bank.open_row {
                 Some(open) if open == row => {
                     self.stats.row_hits += 1;
@@ -336,7 +342,9 @@ impl MainMemory {
     /// Builds the model described by `model`.
     pub fn from_model(model: &MemoryModel) -> Self {
         match model {
-            MemoryModel::Constant { latency } => MainMemory::Constant(ConstantMemory::new(*latency)),
+            MemoryModel::Constant { latency } => {
+                MainMemory::Constant(ConstantMemory::new(*latency))
+            }
             MemoryModel::Sdram(cfg) => MainMemory::Sdram(Sdram::new(*cfg)),
         }
     }
@@ -444,7 +452,10 @@ mod tests {
         assert_eq!(d2.len(), 1);
         let latency = d2[0].finished_at - t1;
         // Must pay at least tRP + tRCD + CL, plus tRAS/tRC slack.
-        assert!(latency >= 30 + 30 + 30, "conflict latency {latency} too small");
+        assert!(
+            latency >= 30 + 30 + 30,
+            "conflict latency {latency} too small"
+        );
         assert_eq!(mem.stats().precharges, 1);
     }
 

@@ -84,15 +84,19 @@ impl CacheConfig {
                 self.name, self.line_bytes
             )));
         }
-        if self.size_bytes == 0 || self.size_bytes % self.line_bytes != 0 {
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.line_bytes) {
             return Err(ConfigError::new(format!(
                 "{}: capacity {} not a multiple of line size {}",
                 self.name, self.size_bytes, self.line_bytes
             )));
         }
         let lines = self.size_bytes / self.line_bytes;
-        let ways = if self.assoc == 0 { lines } else { self.assoc as u64 };
-        if ways == 0 || lines % ways != 0 {
+        let ways = if self.assoc == 0 {
+            lines
+        } else {
+            self.assoc as u64
+        };
+        if ways == 0 || !lines.is_multiple_of(ways) {
             return Err(ConfigError::new(format!(
                 "{}: {} lines not divisible by associativity {}",
                 self.name, lines, ways
@@ -106,7 +110,10 @@ impl CacheConfig {
             )));
         }
         if self.ports == 0 {
-            return Err(ConfigError::new(format!("{}: needs at least one port", self.name)));
+            return Err(ConfigError::new(format!(
+                "{}: needs at least one port",
+                self.name
+            )));
         }
         if self.mshr_entries == 0 || self.mshr_reads_per_entry == 0 {
             return Err(ConfigError::new(format!(
@@ -323,7 +330,9 @@ impl SdramConfig {
     /// (zero banks/rows/columns/queue, or tRC shorter than tRAS + tRP).
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.banks == 0 || !self.banks.is_power_of_two() {
-            return Err(ConfigError::new("SDRAM banks must be a nonzero power of two"));
+            return Err(ConfigError::new(
+                "SDRAM banks must be a nonzero power of two",
+            ));
         }
         if self.rows == 0 || self.columns == 0 {
             return Err(ConfigError::new("SDRAM rows/columns must be nonzero"));
@@ -444,7 +453,9 @@ impl CoreConfig {
         ];
         for (name, v) in fields {
             if v == 0 {
-                return Err(ConfigError::new(format!("core parameter {name} must be nonzero")));
+                return Err(ConfigError::new(format!(
+                    "core parameter {name} must be nonzero"
+                )));
             }
         }
         Ok(())
@@ -709,7 +720,10 @@ mod tests {
     #[test]
     fn memory_model_labels() {
         assert_eq!(MemoryModel::simplescalar_70().label(), "constant-70");
-        assert_eq!(MemoryModel::Sdram(SdramConfig::baseline()).label(), "sdram-170");
+        assert_eq!(
+            MemoryModel::Sdram(SdramConfig::baseline()).label(),
+            "sdram-170"
+        );
         assert_eq!(
             MemoryModel::Sdram(SdramConfig::scaled_to_70_cycles()).label(),
             "sdram-70"

@@ -43,9 +43,8 @@ pub use config::{
     MemoryModel, Replacement, SdramConfig, SdramSchedule, SystemConfig, WritePolicy,
 };
 pub use event::{
-    AccessEvent, AccessOutcome, EvictEvent, PrefetchDestination, PrefetchQueue,
-    PrefetchQueueStats, PrefetchRequest, ProbeResult, RefillCause, RefillEvent, Spill,
-    VictimAction,
+    AccessEvent, AccessOutcome, EvictEvent, PrefetchDestination, PrefetchQueue, PrefetchQueueStats,
+    PrefetchRequest, ProbeResult, RefillCause, RefillEvent, Spill, VictimAction,
 };
 pub use mechanism::{BaseMechanism, HardwareBudget, Mechanism, MechanismStats, SramTable};
 pub use stats::{CacheStats, MemoryStats, PerfSummary};

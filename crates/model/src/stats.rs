@@ -49,7 +49,8 @@ impl CacheStats {
 
     /// Fraction of prefetch fills that turned out useful.
     pub fn prefetch_accuracy(&self) -> Option<f64> {
-        (self.prefetch_fills > 0).then(|| self.useful_prefetches as f64 / self.prefetch_fills as f64)
+        (self.prefetch_fills > 0)
+            .then(|| self.useful_prefetches as f64 / self.prefetch_fills as f64)
     }
 }
 

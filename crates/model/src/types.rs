@@ -239,7 +239,10 @@ impl LineData {
     ///
     /// Panics if `words` exceeds [`LineData::MAX_WORDS`].
     pub fn zeroed(words: usize) -> Self {
-        assert!(words <= Self::MAX_WORDS, "line of {words} words is too large");
+        assert!(
+            words <= Self::MAX_WORDS,
+            "line of {words} words is too large"
+        );
         LineData {
             words: [0; Self::MAX_WORDS],
             len: words as u8,
@@ -282,7 +285,10 @@ impl LineData {
     /// Panics if `index` is out of bounds.
     #[inline]
     pub fn set_word(&mut self, index: usize, value: u64) {
-        assert!(index < self.len as usize, "word index {index} out of bounds");
+        assert!(
+            index < self.len as usize,
+            "word index {index} out of bounds"
+        );
         self.words[index] = value;
     }
 
@@ -293,7 +299,10 @@ impl LineData {
     /// Panics if `index` is out of bounds.
     #[inline]
     pub fn word(&self, index: usize) -> u64 {
-        assert!(index < self.len as usize, "word index {index} out of bounds");
+        assert!(
+            index < self.len as usize,
+            "word index {index} out of bounds"
+        );
         self.words[index]
     }
 }

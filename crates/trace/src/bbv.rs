@@ -118,10 +118,7 @@ impl BbvProfiler {
             .iter()
             .map(|iv| {
                 let total = iv.total.max(1) as f64;
-                blocks
-                    .iter()
-                    .map(|b| iv.count(*b) as f64 / total)
-                    .collect()
+                blocks.iter().map(|b| iv.count(*b) as f64 / total).collect()
             })
             .collect()
     }
@@ -171,9 +168,8 @@ mod tests {
         }
         let m = BbvProfiler::to_matrix(p.intervals());
         assert!(m.len() >= 4);
-        let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum()
-        };
+        let dist =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum() };
         // Pattern is [0,1,2,1]: intervals 1 and 3 share a phase.
         let same = dist(&m[1], &m[3]);
         let cross = dist(&m[0], &m[1]);

@@ -140,8 +140,8 @@ pub const DBCP_SELECTION: [&str; 5] = ["ammp", "equake", "gzip", "mcf", "twolf"]
 /// The twelve-benchmark selection used in the GHB article (Table 4,
 /// approximated by the stride/pointer mix the HPCA 2004 paper evaluated).
 pub const GHB_SELECTION: [&str; 12] = [
-    "applu", "art", "equake", "facerec", "lucas", "mcf", "mgrid", "parser", "swim", "twolf",
-    "vpr", "wupwise",
+    "applu", "art", "equake", "facerec", "lucas", "mcf", "mgrid", "parser", "swim", "twolf", "vpr",
+    "wupwise",
 ];
 
 /// Builds the profile for one benchmark.
@@ -164,14 +164,22 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
                 // traversal (Markov-learnable) whose next pointer sits
                 // *past* the fetched 64-byte line, plus stale pointer
                 // fields that bait CDP.
-                phase(0.30, 0.10, 0.55, 0.08, 10, vec![
-                    chase(2_600, 96, 88, 4, true, 2.0),
-                    hot(6 * KB, 4.0),
-                ]),
-                phase(0.26, 0.14, 0.60, 0.10, 12, vec![
-                    chase(9_000, 96, 88, 4, true, 2.0),
-                    hot(6 * KB, 4.5),
-                ]),
+                phase(
+                    0.30,
+                    0.10,
+                    0.55,
+                    0.08,
+                    10,
+                    vec![chase(2_600, 96, 88, 4, true, 2.0), hot(6 * KB, 4.0)],
+                ),
+                phase(
+                    0.26,
+                    0.14,
+                    0.60,
+                    0.10,
+                    12,
+                    vec![chase(9_000, 96, 88, 4, true, 2.0), hot(6 * KB, 4.5)],
+                ),
             ],
             vec![0, 0, 1, 0],
             0.02,
@@ -182,11 +190,18 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "applu" => profile(
             "applu",
             Suite::Fp,
-            vec![phase(0.30, 0.12, 0.78, 0.12, 14, vec![
-                strided(32, 2 * MB, 2.0),
-                strided(-32, 1 * MB, 1.0),
-                hot(6 * KB, 3.0),
-            ])],
+            vec![phase(
+                0.30,
+                0.12,
+                0.78,
+                0.12,
+                14,
+                vec![
+                    strided(32, 2 * MB, 2.0),
+                    strided(-32, MB, 1.0),
+                    hot(6 * KB, 3.0),
+                ],
+            )],
             vec![0],
             0.010,
             5.0,
@@ -197,17 +212,31 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             "apsi",
             Suite::Fp,
             vec![
-                phase(0.32, 0.12, 0.72, 0.10, 12, vec![
-                    strided(32, 3 * MB, 2.0),
-                    strided(64, 1 * MB, 1.5),
-                    hot(8 * KB, 2.5),
-                ]),
-                phase(0.30, 0.16, 0.70, 0.10, 12, vec![
-                    strided(32, 3 * MB, 2.0),
-                    strided(-32, 2 * MB, 1.5),
-                    strided(256 * KB as i64, 2 * MB, 0.7),
-                    hot(8 * KB, 2.5),
-                ]),
+                phase(
+                    0.32,
+                    0.12,
+                    0.72,
+                    0.10,
+                    12,
+                    vec![
+                        strided(32, 3 * MB, 2.0),
+                        strided(64, MB, 1.5),
+                        hot(8 * KB, 2.5),
+                    ],
+                ),
+                phase(
+                    0.30,
+                    0.16,
+                    0.70,
+                    0.10,
+                    12,
+                    vec![
+                        strided(32, 3 * MB, 2.0),
+                        strided(-32, 2 * MB, 1.5),
+                        strided(256 * KB as i64, 2 * MB, 0.7),
+                        hot(8 * KB, 2.5),
+                    ],
+                ),
             ],
             vec![0, 1],
             0.012,
@@ -218,12 +247,19 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "art" => profile(
             "art",
             Suite::Fp,
-            vec![phase(0.34, 0.08, 0.70, 0.08, 10, vec![
-                strided(-32, 1536 * KB, 1.3),
-                strided(32, 1 * MB, 1.2),
-                random(64 * KB, 0.8),
-                hot(8 * KB, 3.0),
-            ])],
+            vec![phase(
+                0.34,
+                0.08,
+                0.70,
+                0.08,
+                10,
+                vec![
+                    strided(-32, 1536 * KB, 1.3),
+                    strided(32, MB, 1.2),
+                    random(64 * KB, 0.8),
+                    hot(8 * KB, 3.0),
+                ],
+            )],
             vec![0],
             0.015,
             3.5,
@@ -236,16 +272,30 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             vec![
                 // Sparse-matrix pointer structure: next pointer *inside*
                 // the fetched line (CDP-friendly).
-                phase(0.33, 0.08, 0.60, 0.08, 10, vec![
-                    chase(20_000, 64, 8, 0, true, 2.0),
-                    strided(32, 1 * MB, 1.0),
-                    hot(6 * KB, 3.0),
-                ]),
-                phase(0.30, 0.12, 0.65, 0.10, 12, vec![
-                    chase(20_000, 64, 8, 0, true, 1.5),
-                    strided(32, 2 * MB, 1.5),
-                    hot(6 * KB, 3.0),
-                ]),
+                phase(
+                    0.33,
+                    0.08,
+                    0.60,
+                    0.08,
+                    10,
+                    vec![
+                        chase(20_000, 64, 8, 0, true, 2.0),
+                        strided(32, MB, 1.0),
+                        hot(6 * KB, 3.0),
+                    ],
+                ),
+                phase(
+                    0.30,
+                    0.12,
+                    0.65,
+                    0.10,
+                    12,
+                    vec![
+                        chase(20_000, 64, 8, 0, true, 1.5),
+                        strided(32, 2 * MB, 1.5),
+                        hot(6 * KB, 3.0),
+                    ],
+                ),
             ],
             vec![0, 1],
             0.015,
@@ -256,13 +306,20 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "facerec" => profile(
             "facerec",
             Suite::Fp,
-            vec![phase(0.30, 0.10, 0.72, 0.10, 12, vec![
-                strided(128, 2 * MB, 1.2),
-                strided(256 * KB as i64, 2 * MB, 1.0),
-                strided(32, 512 * KB, 1.0),
-                hot(6 * KB, 1.8),
-                hot(6 * KB, 1.7),
-            ])],
+            vec![phase(
+                0.30,
+                0.10,
+                0.72,
+                0.10,
+                12,
+                vec![
+                    strided(128, 2 * MB, 1.2),
+                    strided(256 * KB as i64, 2 * MB, 1.0),
+                    strided(32, 512 * KB, 1.0),
+                    hot(6 * KB, 1.8),
+                    hot(6 * KB, 1.7),
+                ],
+            )],
             vec![0],
             0.012,
             4.2,
@@ -273,17 +330,31 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             "fma3d",
             Suite::Fp,
             vec![
-                phase(0.31, 0.13, 0.70, 0.10, 12, vec![
-                    strided(32, 3 * MB, 2.0),
-                    strided(256 * KB as i64, 2 * MB, 0.5),
-                    random(256 * KB, 0.8),
-                    hot(8 * KB, 2.8),
-                ]),
-                phase(0.28, 0.15, 0.72, 0.12, 14, vec![
-                    strided(32, 2 * MB, 2.0),
-                    random(512 * KB, 0.8),
-                    hot(8 * KB, 2.8),
-                ]),
+                phase(
+                    0.31,
+                    0.13,
+                    0.70,
+                    0.10,
+                    12,
+                    vec![
+                        strided(32, 3 * MB, 2.0),
+                        strided(256 * KB as i64, 2 * MB, 0.5),
+                        random(256 * KB, 0.8),
+                        hot(8 * KB, 2.8),
+                    ],
+                ),
+                phase(
+                    0.28,
+                    0.15,
+                    0.72,
+                    0.12,
+                    14,
+                    vec![
+                        strided(32, 2 * MB, 2.0),
+                        random(512 * KB, 0.8),
+                        hot(8 * KB, 2.8),
+                    ],
+                ),
             ],
             vec![0, 1, 0],
             0.015,
@@ -294,11 +365,18 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "galgel" => profile(
             "galgel",
             Suite::Fp,
-            vec![phase(0.30, 0.12, 0.78, 0.14, 14, vec![
-                strided(-32, 320 * KB, 1.5),
-                hot(6 * KB, 2.5),
-                hot(6 * KB, 2.5),
-            ])],
+            vec![phase(
+                0.30,
+                0.12,
+                0.78,
+                0.14,
+                14,
+                vec![
+                    strided(-32, 320 * KB, 1.5),
+                    hot(6 * KB, 2.5),
+                    hot(6 * KB, 2.5),
+                ],
+            )],
             vec![0],
             0.008,
             4.8,
@@ -308,11 +386,18 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "lucas" => profile(
             "lucas",
             Suite::Fp,
-            vec![phase(0.28, 0.12, 0.82, 0.14, 16, vec![
-                strided(32, 4 * MB, 2.0),
-                strided(512, 4 * MB, 1.0),
-                hot(8 * KB, 2.0),
-            ])],
+            vec![phase(
+                0.28,
+                0.12,
+                0.82,
+                0.14,
+                16,
+                vec![
+                    strided(32, 4 * MB, 2.0),
+                    strided(512, 4 * MB, 1.0),
+                    hot(8 * KB, 2.0),
+                ],
+            )],
             vec![0],
             0.006,
             5.5,
@@ -322,11 +407,18 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "mesa" => profile(
             "mesa",
             Suite::Fp,
-            vec![phase(0.26, 0.12, 0.55, 0.10, 12, vec![
-                strided(32, 96 * KB, 1.0),
-                random(32 * KB, 0.5),
-                hot(6 * KB, 5.0),
-            ])],
+            vec![phase(
+                0.26,
+                0.12,
+                0.55,
+                0.10,
+                12,
+                vec![
+                    strided(32, 96 * KB, 1.0),
+                    random(32 * KB, 0.5),
+                    hot(6 * KB, 5.0),
+                ],
+            )],
             vec![0],
             0.020,
             3.5,
@@ -337,17 +429,31 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             "mgrid",
             Suite::Fp,
             vec![
-                phase(0.33, 0.10, 0.80, 0.12, 16, vec![
-                    strided(32, 2560 * KB, 2.2),
-                    strided(256, 2560 * KB, 1.0),
-                    strided(256 * KB as i64, 2 * MB, 0.5),
-                    hot(8 * KB, 2.2),
-                ]),
-                phase(0.30, 0.14, 0.80, 0.12, 16, vec![
-                    strided(-32, 2560 * KB, 2.0),
-                    strided(32, 1 * MB, 1.5),
-                    hot(8 * KB, 2.2),
-                ]),
+                phase(
+                    0.33,
+                    0.10,
+                    0.80,
+                    0.12,
+                    16,
+                    vec![
+                        strided(32, 2560 * KB, 2.2),
+                        strided(256, 2560 * KB, 1.0),
+                        strided(256 * KB as i64, 2 * MB, 0.5),
+                        hot(8 * KB, 2.2),
+                    ],
+                ),
+                phase(
+                    0.30,
+                    0.14,
+                    0.80,
+                    0.12,
+                    16,
+                    vec![
+                        strided(-32, 2560 * KB, 2.0),
+                        strided(32, MB, 1.5),
+                        hot(8 * KB, 2.2),
+                    ],
+                ),
             ],
             vec![0, 0, 1],
             0.008,
@@ -358,10 +464,14 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "sixtrack" => profile(
             "sixtrack",
             Suite::Fp,
-            vec![phase(0.24, 0.10, 0.75, 0.16, 14, vec![
-                strided(32, 96 * KB, 1.0),
-                hot(6 * KB, 5.0),
-            ])],
+            vec![phase(
+                0.24,
+                0.10,
+                0.75,
+                0.16,
+                14,
+                vec![strided(32, 96 * KB, 1.0), hot(6 * KB, 5.0)],
+            )],
             vec![0],
             0.010,
             2.8,
@@ -371,12 +481,19 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "swim" => profile(
             "swim",
             Suite::Fp,
-            vec![phase(0.31, 0.15, 0.80, 0.10, 16, vec![
-                strided(32, 1536 * KB, 1.4),
-                strided(-32, 1536 * KB, 1.4),
-                strided(32, 1536 * KB, 1.4),
-                hot(8 * KB, 3.0),
-            ])],
+            vec![phase(
+                0.31,
+                0.15,
+                0.80,
+                0.10,
+                16,
+                vec![
+                    strided(32, 1536 * KB, 1.4),
+                    strided(-32, 1536 * KB, 1.4),
+                    strided(32, 1536 * KB, 1.4),
+                    hot(8 * KB, 3.0),
+                ],
+            )],
             vec![0],
             0.005,
             5.5,
@@ -386,10 +503,14 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "wupwise" => profile(
             "wupwise",
             Suite::Fp,
-            vec![phase(0.26, 0.10, 0.72, 0.14, 14, vec![
-                strided(-32, 128 * KB, 1.0),
-                hot(6 * KB, 6.0),
-            ])],
+            vec![phase(
+                0.26,
+                0.10,
+                0.72,
+                0.14,
+                14,
+                vec![strided(-32, 128 * KB, 1.0), hot(6 * KB, 6.0)],
+            )],
             vec![0],
             0.008,
             4.5,
@@ -401,16 +522,30 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             "bzip2",
             Suite::Int,
             vec![
-                phase(0.28, 0.12, 0.0, 0.04, 8, vec![
-                    random(256 * KB, 0.7),
-                    strided(32, 128 * KB, 0.8),
-                    hot(6 * KB, 6.0),
-                ]),
-                phase(0.30, 0.14, 0.0, 0.04, 8, vec![
-                    strided(-32, 192 * KB, 1.0),
-                    random(96 * KB, 0.5),
-                    hot(6 * KB, 6.0),
-                ]),
+                phase(
+                    0.28,
+                    0.12,
+                    0.0,
+                    0.04,
+                    8,
+                    vec![
+                        random(256 * KB, 0.7),
+                        strided(32, 128 * KB, 0.8),
+                        hot(6 * KB, 6.0),
+                    ],
+                ),
+                phase(
+                    0.30,
+                    0.14,
+                    0.0,
+                    0.04,
+                    8,
+                    vec![
+                        strided(-32, 192 * KB, 1.0),
+                        random(96 * KB, 0.5),
+                        hot(6 * KB, 6.0),
+                    ],
+                ),
             ],
             vec![0, 1],
             0.040,
@@ -421,11 +556,14 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "crafty" => profile(
             "crafty",
             Suite::Int,
-            vec![phase(0.27, 0.09, 0.0, 0.06, 6, vec![
-                random(64 * KB, 0.6),
-                hot(6 * KB, 3.0),
-                hot(6 * KB, 3.0),
-            ])],
+            vec![phase(
+                0.27,
+                0.09,
+                0.0,
+                0.06,
+                6,
+                vec![random(64 * KB, 0.6), hot(6 * KB, 3.0), hot(6 * KB, 3.0)],
+            )],
             vec![0],
             0.060,
             2.5,
@@ -435,10 +573,14 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "eon" => profile(
             "eon",
             Suite::Int,
-            vec![phase(0.28, 0.12, 0.30, 0.08, 8, vec![
-                strided(32, 48 * KB, 0.8),
-                hot(6 * KB, 6.0),
-            ])],
+            vec![phase(
+                0.28,
+                0.12,
+                0.30,
+                0.08,
+                8,
+                vec![strided(32, 48 * KB, 0.8), hot(6 * KB, 6.0)],
+            )],
             vec![0],
             0.030,
             3.0,
@@ -451,16 +593,30 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             vec![
                 // Group-theory workspace sweeps: big sequential bags plus a
                 // pointer structure — very mechanism-sensitive (Fig 6).
-                phase(0.33, 0.12, 0.0, 0.06, 9, vec![
-                    chase(16_000, 64, 8, 0, false, 1.2),
-                    strided(32, 2 * MB, 2.2),
-                    hot(8 * KB, 2.5),
-                ]),
-                phase(0.30, 0.15, 0.0, 0.06, 9, vec![
-                    strided(-32, 3 * MB, 2.5),
-                    random(256 * KB, 0.6),
-                    hot(8 * KB, 2.5),
-                ]),
+                phase(
+                    0.33,
+                    0.12,
+                    0.0,
+                    0.06,
+                    9,
+                    vec![
+                        chase(16_000, 64, 8, 0, false, 1.2),
+                        strided(32, 2 * MB, 2.2),
+                        hot(8 * KB, 2.5),
+                    ],
+                ),
+                phase(
+                    0.30,
+                    0.15,
+                    0.0,
+                    0.06,
+                    9,
+                    vec![
+                        strided(-32, 3 * MB, 2.5),
+                        random(256 * KB, 0.6),
+                        hot(8 * KB, 2.5),
+                    ],
+                ),
             ],
             vec![0, 1],
             0.025,
@@ -472,20 +628,38 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             "gcc",
             Suite::Int,
             vec![
-                phase(0.30, 0.14, 0.0, 0.04, 6, vec![
-                    random(768 * KB, 1.0),
-                    strided(32, 256 * KB, 0.8),
-                    hot(6 * KB, 4.0),
-                ]),
-                phase(0.28, 0.12, 0.0, 0.04, 7, vec![
-                    random(256 * KB, 0.8),
-                    hot(6 * KB, 4.5),
-                ]),
-                phase(0.33, 0.16, 0.0, 0.04, 6, vec![
-                    random(1 * MB, 1.0),
-                    repeating(300, 512 * KB, 0.10, 0.8),
-                    hot(6 * KB, 4.0),
-                ]),
+                phase(
+                    0.30,
+                    0.14,
+                    0.0,
+                    0.04,
+                    6,
+                    vec![
+                        random(768 * KB, 1.0),
+                        strided(32, 256 * KB, 0.8),
+                        hot(6 * KB, 4.0),
+                    ],
+                ),
+                phase(
+                    0.28,
+                    0.12,
+                    0.0,
+                    0.04,
+                    7,
+                    vec![random(256 * KB, 0.8), hot(6 * KB, 4.5)],
+                ),
+                phase(
+                    0.33,
+                    0.16,
+                    0.0,
+                    0.04,
+                    6,
+                    vec![
+                        random(MB, 1.0),
+                        repeating(300, 512 * KB, 0.10, 0.8),
+                        hot(6 * KB, 4.0),
+                    ],
+                ),
             ],
             vec![0, 1, 2, 1],
             0.050,
@@ -499,14 +673,22 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             vec![
                 // Dictionary scans: the same miss sequence replays over and
                 // over — Markov territory.
-                phase(0.30, 0.12, 0.0, 0.04, 8, vec![
-                    repeating(3000, 1536 * KB, 0.04, 2.2),
-                    hot(6 * KB, 4.5),
-                ]),
-                phase(0.28, 0.14, 0.0, 0.04, 8, vec![
-                    repeating(2200, 1 * MB, 0.06, 1.8),
-                    hot(6 * KB, 4.5),
-                ]),
+                phase(
+                    0.30,
+                    0.12,
+                    0.0,
+                    0.04,
+                    8,
+                    vec![repeating(3000, 1536 * KB, 0.04, 2.2), hot(6 * KB, 4.5)],
+                ),
+                phase(
+                    0.28,
+                    0.14,
+                    0.0,
+                    0.04,
+                    8,
+                    vec![repeating(2200, MB, 0.06, 1.8), hot(6 * KB, 4.5)],
+                ),
             ],
             vec![0, 1],
             0.030,
@@ -522,15 +704,26 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
                 // with pointer-dense nodes (every field looks like a
                 // pointer) — CDP chases them to depth 3 and saturates the
                 // memory system.
-                phase(0.35, 0.08, 0.0, 0.03, 7, vec![
-                    chase(36_000, 96, 8, 2, true, 3.0),
-                    hot(8 * KB, 3.0),
-                ]),
-                phase(0.32, 0.12, 0.0, 0.03, 7, vec![
-                    chase(36_000, 96, 8, 2, true, 2.5),
-                    strided(32, 1 * MB, 0.8),
-                    hot(8 * KB, 3.0),
-                ]),
+                phase(
+                    0.35,
+                    0.08,
+                    0.0,
+                    0.03,
+                    7,
+                    vec![chase(36_000, 96, 8, 2, true, 3.0), hot(8 * KB, 3.0)],
+                ),
+                phase(
+                    0.32,
+                    0.12,
+                    0.0,
+                    0.03,
+                    7,
+                    vec![
+                        chase(36_000, 96, 8, 2, true, 2.5),
+                        strided(32, MB, 0.8),
+                        hot(8 * KB, 3.0),
+                    ],
+                ),
             ],
             vec![0, 0, 1],
             0.040,
@@ -541,12 +734,19 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "parser" => profile(
             "parser",
             Suite::Int,
-            vec![phase(0.31, 0.11, 0.0, 0.04, 7, vec![
-                chase(12_000, 48, 16, 0, true, 1.2),
-                random(256 * KB, 0.6),
-                hot(6 * KB, 2.3),
-                hot(6 * KB, 2.2),
-            ])],
+            vec![phase(
+                0.31,
+                0.11,
+                0.0,
+                0.04,
+                7,
+                vec![
+                    chase(12_000, 48, 16, 0, true, 1.2),
+                    random(256 * KB, 0.6),
+                    hot(6 * KB, 2.3),
+                    hot(6 * KB, 2.2),
+                ],
+            )],
             vec![0],
             0.045,
             2.6,
@@ -556,10 +756,14 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "perlbmk" => profile(
             "perlbmk",
             Suite::Int,
-            vec![phase(0.29, 0.13, 0.0, 0.05, 6, vec![
-                random(96 * KB, 0.6),
-                hot(6 * KB, 6.0),
-            ])],
+            vec![phase(
+                0.29,
+                0.13,
+                0.0,
+                0.05,
+                6,
+                vec![random(96 * KB, 0.6), hot(6 * KB, 6.0)],
+            )],
             vec![0],
             0.050,
             2.8,
@@ -569,12 +773,19 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "twolf" => profile(
             "twolf",
             Suite::Int,
-            vec![phase(0.32, 0.10, 0.0, 0.05, 8, vec![
-                chase(10_000, 64, 16, 0, true, 1.4),
-                random(128 * KB, 0.6),
-                hot(6 * KB, 2.0),
-                hot(6 * KB, 2.0),
-            ])],
+            vec![phase(
+                0.32,
+                0.10,
+                0.0,
+                0.05,
+                8,
+                vec![
+                    chase(10_000, 64, 16, 0, true, 1.4),
+                    random(128 * KB, 0.6),
+                    hot(6 * KB, 2.0),
+                    hot(6 * KB, 2.0),
+                ],
+            )],
             vec![0],
             0.035,
             2.8,
@@ -584,12 +795,19 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
         "vortex" => profile(
             "vortex",
             Suite::Int,
-            vec![phase(0.30, 0.14, 0.0, 0.04, 7, vec![
-                strided(-32, 256 * KB, 0.8),
-                random(128 * KB, 0.5),
-                hot(6 * KB, 3.0),
-                hot(6 * KB, 3.0),
-            ])],
+            vec![phase(
+                0.30,
+                0.14,
+                0.0,
+                0.04,
+                7,
+                vec![
+                    strided(-32, 256 * KB, 0.8),
+                    random(128 * KB, 0.5),
+                    hot(6 * KB, 3.0),
+                    hot(6 * KB, 3.0),
+                ],
+            )],
             vec![0],
             0.030,
             3.2,
@@ -600,16 +818,30 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             "vpr",
             Suite::Int,
             vec![
-                phase(0.31, 0.11, 0.0, 0.05, 8, vec![
-                    chase(8_000, 64, 24, 0, true, 1.0),
-                    random(512 * KB, 0.8),
-                    hot(6 * KB, 4.0),
-                ]),
-                phase(0.29, 0.13, 0.0, 0.05, 8, vec![
-                    random(768 * KB, 1.0),
-                    strided(16, 128 * KB, 0.6),
-                    hot(6 * KB, 4.0),
-                ]),
+                phase(
+                    0.31,
+                    0.11,
+                    0.0,
+                    0.05,
+                    8,
+                    vec![
+                        chase(8_000, 64, 24, 0, true, 1.0),
+                        random(512 * KB, 0.8),
+                        hot(6 * KB, 4.0),
+                    ],
+                ),
+                phase(
+                    0.29,
+                    0.13,
+                    0.0,
+                    0.05,
+                    8,
+                    vec![
+                        random(768 * KB, 1.0),
+                        strided(16, 128 * KB, 0.6),
+                        hot(6 * KB, 4.0),
+                    ],
+                ),
             ],
             vec![0, 1],
             0.040,
@@ -695,9 +927,9 @@ mod tests {
     #[test]
     fn mcf_has_decoy_pointers() {
         let p = by_name("mcf").unwrap();
-        let found = p.phases.iter().flat_map(|ph| &ph.streams).any(|s| {
-            matches!(s, StreamSpec::PointerChase { decoy_pointers, .. } if *decoy_pointers > 0)
-        });
+        let found = p.phases.iter().flat_map(|ph| &ph.streams).any(
+            |s| matches!(s, StreamSpec::PointerChase { decoy_pointers, .. } if *decoy_pointers > 0),
+        );
         assert!(found);
     }
 

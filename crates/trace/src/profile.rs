@@ -171,7 +171,8 @@ impl BenchmarkProfile {
             return Err(format!("{}: no phases", self.name));
         }
         for (i, p) in self.phases.iter().enumerate() {
-            p.validate().map_err(|e| format!("{} phase {}: {}", self.name, i, e))?;
+            p.validate()
+                .map_err(|e| format!("{} phase {}: {}", self.name, i, e))?;
         }
         if self.phase_pattern.is_empty() {
             return Err(format!("{}: empty phase pattern", self.name));
@@ -188,7 +189,10 @@ impl BenchmarkProfile {
             return Err(format!("{}: probability out of range", self.name));
         }
         if self.mean_dep_distance < 1.0 {
-            return Err(format!("{}: mean dependency distance must be >= 1", self.name));
+            return Err(format!(
+                "{}: mean dependency distance must be >= 1",
+                self.name
+            ));
         }
         if self.code_blocks == 0 {
             return Err(format!("{}: needs at least one code block", self.name));

@@ -292,7 +292,11 @@ mod tests {
         let pts = choose_simpoints(&two_blobs(), 4, 9);
         let total: f64 = pts.iter().map(|p| p.weight).sum();
         assert!((total - 1.0).abs() < 1e-9);
-        assert!(pts.len() >= 2, "two blobs need two simpoints, got {}", pts.len());
+        assert!(
+            pts.len() >= 2,
+            "two blobs need two simpoints, got {}",
+            pts.len()
+        );
     }
 
     #[test]

@@ -54,9 +54,7 @@ impl TraceWindow {
     where
         I: Iterator<Item = TraceInst>,
     {
-        stream
-            .skip(self.skip as usize)
-            .take(self.simulate as usize)
+        stream.skip(self.skip as usize).take(self.simulate as usize)
     }
 }
 

@@ -370,12 +370,21 @@ impl InstStream {
         self.block_pc = Addr::new(CODE_BASE + self.current_block as u64 * BLOCK_CODE_BYTES);
         self.pc = self.block_pc;
         let len = ph.profile.block_len;
-        let jitter = if len > 4 { self.rng.gen_range(0..len / 2) } else { 0 };
+        let jitter = if len > 4 {
+            self.rng.gen_range(0..len / 2)
+        } else {
+            0
+        };
         self.block_left = (len - len / 4 + jitter).max(2);
         self.block_mem_slot = 0;
     }
 
-    fn gen_mem_access(&mut self, phase: usize, _pc: Addr, is_store: bool) -> (Addr, Option<u32>, u64) {
+    fn gen_mem_access(
+        &mut self,
+        phase: usize,
+        _pc: Addr,
+        is_store: bool,
+    ) -> (Addr, Option<u32>, u64) {
         let bias = self.profile.frequent_value_bias;
         let block = self.current_block;
         let ph = &mut self.phases[phase];
@@ -600,8 +609,7 @@ mod tests {
         let chain_loads: Vec<_> = insts
             .iter()
             .filter(|i| {
-                i.op == OpClass::Load
-                    && i.mem.map(|m| m.addr.raw() >= HEAP_BASE).unwrap_or(false)
+                i.op == OpClass::Load && i.mem.map(|m| m.addr.raw() >= HEAP_BASE).unwrap_or(false)
             })
             .collect();
         assert!(chain_loads.len() > 2, "mcf must chase pointers");
@@ -662,7 +670,7 @@ mod tests {
         let w = Workload::new(benchmarks::by_name("parser").unwrap(), 9);
         for (i, inst) in w.stream().take(5000).enumerate() {
             for d in inst.src_deps.into_iter().flatten() {
-                assert!(d >= 1 && d <= 64);
+                assert!((1..=64).contains(&d));
                 assert!((d as u64) <= i as u64, "dep beyond start at inst {i}");
             }
         }

@@ -117,7 +117,10 @@ fn main() -> Result<(), microlib::SimError> {
             &opts,
         )?;
         println!("{bench}:");
-        println!("  NextN-dir (custom)  speedup {:.3}", mine.perf.speedup_over(&base.perf));
+        println!(
+            "  NextN-dir (custom)  speedup {:.3}",
+            mine.perf.speedup_over(&base.perf)
+        );
         for kind in [MechanismKind::Tp, MechanismKind::Sp, MechanismKind::Ghb] {
             let r = run_one(&config, kind, bench, &opts)?;
             println!(

@@ -16,9 +16,18 @@ fn main() -> Result<(), microlib::SimError> {
         ..SimOptions::default()
     };
     let models = [
-        ("constant-70 (SimpleScalar-like)", MemoryModel::simplescalar_70()),
-        ("SDRAM-170 (Table 1)", MemoryModel::Sdram(SdramConfig::baseline())),
-        ("SDRAM-70 (scaled)", MemoryModel::Sdram(SdramConfig::scaled_to_70_cycles())),
+        (
+            "constant-70 (SimpleScalar-like)",
+            MemoryModel::simplescalar_70(),
+        ),
+        (
+            "SDRAM-170 (Table 1)",
+            MemoryModel::Sdram(SdramConfig::baseline()),
+        ),
+        (
+            "SDRAM-70 (scaled)",
+            MemoryModel::Sdram(SdramConfig::scaled_to_70_cycles()),
+        ),
     ];
 
     println!("GHB speedup on swim under three memory models (Fig 8 in miniature):\n");

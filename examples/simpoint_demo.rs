@@ -23,11 +23,18 @@ fn main() -> Result<(), microlib::SimError> {
         profiler.observe(&inst);
     }
     let vectors = BbvProfiler::to_matrix(profiler.intervals());
-    println!("profiled {} intervals of {} instructions of {bench}", vectors.len(), interval);
+    println!(
+        "profiled {} intervals of {} instructions of {bench}",
+        vectors.len(),
+        interval
+    );
 
     // 2. Cluster and pick simulation points.
     let points = choose_simpoints(&vectors, 6, 0xC0FFEE);
-    println!("SimPoint chose {} representative interval(s):", points.len());
+    println!(
+        "SimPoint chose {} representative interval(s):",
+        points.len()
+    );
     for p in &points {
         println!("  interval {:2} (weight {:.2})", p.interval, p.weight);
     }
@@ -37,20 +44,33 @@ fn main() -> Result<(), microlib::SimError> {
     let mut weighted_ipc = 0.0;
     for p in &points {
         let w = TraceWindow::simpoint_interval(p.interval, interval);
-        let r = run_one(&config, MechanismKind::Base, bench, &SimOptions {
-            window: w,
-            ..SimOptions::default()
-        })?;
+        let r = run_one(
+            &config,
+            MechanismKind::Base,
+            bench,
+            &SimOptions {
+                window: w,
+                ..SimOptions::default()
+            },
+        )?;
         weighted_ipc += p.weight * r.perf.ipc();
     }
-    let arbitrary = run_one(&config, MechanismKind::Base, bench, &SimOptions {
-        window: TraceWindow::new(0, interval),
-        ..SimOptions::default()
-    })?;
+    let arbitrary = run_one(
+        &config,
+        MechanismKind::Base,
+        bench,
+        &SimOptions {
+            window: TraceWindow::new(0, interval),
+            ..SimOptions::default()
+        },
+    )?;
 
     println!();
     println!("weighted SimPoint IPC estimate: {weighted_ipc:.3}");
-    println!("arbitrary first-window IPC:     {:.3}", arbitrary.perf.ipc());
+    println!(
+        "arbitrary first-window IPC:     {:.3}",
+        arbitrary.perf.ipc()
+    );
     println!();
     println!("the gap is the paper's Fig 11 point: \"trace selection can have a");
     println!("considerable effect on research decisions\".");

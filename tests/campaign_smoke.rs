@@ -1,0 +1,82 @@
+//! Campaign-engine smoke test: a small 2-benchmark × 2-mechanism sweep
+//! must produce deterministically ordered cells and **byte-identical**
+//! result tables whether it runs on one worker thread or many — the
+//! acceptance property behind `MICROLIB_THREADS` (parallelism must never
+//! perturb science output).
+
+use microlib::report::text_table;
+use microlib::{Campaign, CampaignReport, ExperimentConfig};
+use microlib_mech::MechanismKind;
+use microlib_model::SystemConfig;
+use microlib_trace::TraceWindow;
+
+fn smoke_config(threads: usize) -> ExperimentConfig {
+    ExperimentConfig {
+        system: SystemConfig::baseline_constant_memory(),
+        benchmarks: vec!["swim".into(), "gzip".into()],
+        mechanisms: vec![MechanismKind::Base, MechanismKind::Ghb],
+        window: TraceWindow::new(1_000, 2_000),
+        seed: 0xC0FFEE,
+        threads,
+    }
+}
+
+/// Renders a report the way the experiment harnesses do: a formatted
+/// speedup table in deterministic row-major order.
+fn result_table(report: CampaignReport) -> String {
+    let matrix = report.into_matrix().expect("all cells clean");
+    let mut rows = Vec::new();
+    for b in matrix.benchmarks() {
+        let mut row = vec![b.clone()];
+        for k in matrix.mechanisms() {
+            let r = matrix.result(b, *k);
+            row.push(format!(
+                "{:.6}/{}/{}",
+                matrix.speedup(b, *k),
+                r.perf.cycles,
+                r.l1d.misses
+            ));
+        }
+        rows.push(row);
+    }
+    text_table(&["benchmark", "Base", "GHB"], &rows)
+}
+
+#[test]
+fn campaign_cells_are_deterministically_ordered() {
+    let report = Campaign::new(smoke_config(4)).run().unwrap();
+    let coords: Vec<(&str, MechanismKind)> = report
+        .cells()
+        .iter()
+        .map(|c| (c.benchmark.as_str(), c.mechanism))
+        .collect();
+    assert_eq!(
+        coords,
+        vec![
+            ("swim", MechanismKind::Base),
+            ("swim", MechanismKind::Ghb),
+            ("gzip", MechanismKind::Base),
+            ("gzip", MechanismKind::Ghb),
+        ],
+        "cells must come back row-major regardless of scheduling"
+    );
+}
+
+#[test]
+fn single_and_multi_threaded_tables_are_byte_identical() {
+    let serial = result_table(Campaign::new(smoke_config(1)).run().unwrap());
+    let parallel = result_table(Campaign::new(smoke_config(4)).run().unwrap());
+    assert!(!serial.is_empty());
+    assert_eq!(
+        serial.as_bytes(),
+        parallel.as_bytes(),
+        "thread count changed the result table:\n--- threads=1\n{serial}\n--- threads=4\n{parallel}"
+    );
+}
+
+#[test]
+fn repeated_runs_are_byte_identical() {
+    let first = result_table(Campaign::new(smoke_config(0)).run().unwrap());
+    let second = result_table(Campaign::new(smoke_config(0)).run().unwrap());
+    assert_eq!(first, second, "same config must reproduce exactly");
+}

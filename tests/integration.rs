@@ -21,9 +21,17 @@ fn every_mechanism_runs_clean_on_sdram() {
     // Value integrity is checked on every load inside run_one; an Err here
     // means the hierarchy corrupted or lost data.
     for kind in MechanismKind::study_set() {
-        let r = run_one(&SystemConfig::baseline(), kind, "gzip", &quick(8_000, 4_000))
-            .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
-        assert_eq!(r.perf.instructions, 4_000, "{kind:?} must commit the window");
+        let r = run_one(
+            &SystemConfig::baseline(),
+            kind,
+            "gzip",
+            &quick(8_000, 4_000),
+        )
+        .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
+        assert_eq!(
+            r.perf.instructions, 4_000,
+            "{kind:?} must commit the window"
+        );
         assert!(r.perf.ipc() > 0.01, "{kind:?} IPC collapsed");
     }
 }
@@ -32,7 +40,11 @@ fn every_mechanism_runs_clean_on_sdram() {
 fn pointer_chasing_benchmark_runs_clean_with_value_consumers() {
     // mcf exercises the value-carrying paths hardest (pointer loads, CDP
     // scans, decoys).
-    for kind in [MechanismKind::Cdp, MechanismKind::CdpSp, MechanismKind::Markov] {
+    for kind in [
+        MechanismKind::Cdp,
+        MechanismKind::CdpSp,
+        MechanismKind::Markov,
+    ] {
         let r = run_one(&SystemConfig::baseline(), kind, "mcf", &quick(8_000, 4_000))
             .unwrap_or_else(|e| panic!("{kind:?}: {e}"));
         assert_eq!(r.perf.instructions, 4_000);
@@ -41,8 +53,20 @@ fn pointer_chasing_benchmark_runs_clean_with_value_consumers() {
 
 #[test]
 fn runs_are_deterministic() {
-    let a = run_one(&SystemConfig::baseline(), MechanismKind::Ghb, "swim", &quick(5_000, 4_000)).unwrap();
-    let b = run_one(&SystemConfig::baseline(), MechanismKind::Ghb, "swim", &quick(5_000, 4_000)).unwrap();
+    let a = run_one(
+        &SystemConfig::baseline(),
+        MechanismKind::Ghb,
+        "swim",
+        &quick(5_000, 4_000),
+    )
+    .unwrap();
+    let b = run_one(
+        &SystemConfig::baseline(),
+        MechanismKind::Ghb,
+        "swim",
+        &quick(5_000, 4_000),
+    )
+    .unwrap();
     assert_eq!(a.perf, b.perf);
     assert_eq!(a.l1d, b.l1d);
     assert_eq!(a.l2, b.l2);
@@ -52,9 +76,21 @@ fn runs_are_deterministic() {
 #[test]
 fn different_seeds_change_the_trace() {
     let mut opts = quick(5_000, 4_000);
-    let a = run_one(&SystemConfig::baseline(), MechanismKind::Base, "swim", &opts).unwrap();
+    let a = run_one(
+        &SystemConfig::baseline(),
+        MechanismKind::Base,
+        "swim",
+        &opts,
+    )
+    .unwrap();
     opts.seed ^= 0xDEAD;
-    let b = run_one(&SystemConfig::baseline(), MechanismKind::Base, "swim", &opts).unwrap();
+    let b = run_one(
+        &SystemConfig::baseline(),
+        MechanismKind::Base,
+        "swim",
+        &opts,
+    )
+    .unwrap();
     assert_ne!(a.perf.cycles, b.perf.cycles, "seed must matter");
 }
 
@@ -85,7 +121,10 @@ fn writeback_fault_injection_is_caught() {
         }
         now += 1;
     }
-    assert!(violated, "dropped writebacks must be detected by the value checker");
+    assert!(
+        violated,
+        "dropped writebacks must be detected by the value checker"
+    );
 }
 
 #[test]
@@ -144,7 +183,10 @@ fn matrix_base_column_is_unity() {
         assert!((m.speedup(b, MechanismKind::Base) - 1.0).abs() < 1e-12);
         for k in [MechanismKind::Tp, MechanismKind::Sp] {
             let s = m.speedup(b, k);
-            assert!(s > 0.5 && s < 3.0, "{b}/{k:?} speedup {s} out of plausible range");
+            assert!(
+                s > 0.5 && s < 3.0,
+                "{b}/{k:?} speedup {s} out of plausible range"
+            );
         }
     }
 }
@@ -153,7 +195,13 @@ fn matrix_base_column_is_unity() {
 fn ghb_beats_base_on_streaming_workload() {
     // The paper's headline winner must at least win its home turf.
     let opts = quick(40_000, 10_000);
-    let base = run_one(&SystemConfig::baseline(), MechanismKind::Base, "swim", &opts).unwrap();
+    let base = run_one(
+        &SystemConfig::baseline(),
+        MechanismKind::Base,
+        "swim",
+        &opts,
+    )
+    .unwrap();
     let ghb = run_one(&SystemConfig::baseline(), MechanismKind::Ghb, "swim", &opts).unwrap();
     assert!(
         ghb.perf.speedup_over(&base.perf) > 1.05,

@@ -1,0 +1,245 @@
+//! Offline stand-in for [criterion](https://crates.io/crates/criterion).
+//!
+//! This workspace builds without crates.io access, so the two bench files
+//! under `crates/bench/benches/` link against this path crate instead: the
+//! API subset they use ([`Criterion`], [`BenchmarkGroup`], [`Throughput`],
+//! [`black_box`], [`criterion_group!`], [`criterion_main!`]) over a plain
+//! wall-clock measurement loop.
+//!
+//! Methodology (simplified from the real criterion): each bench function
+//! is warmed up, an iteration count is calibrated so one sample takes
+//! roughly `CRITERION_SAMPLE_MS` (default 100 ms), `CRITERION_SAMPLES`
+//! (default 10) samples are taken, and the **median** time per iteration
+//! is reported together with throughput when declared. No plots, no
+//! statistical regression — numbers print to stdout, one line per bench,
+//! so baselines can be recorded by redirecting output to a file.
+//!
+//! Passing `--test` (what `cargo test --benches` does) runs every bench
+//! closure exactly once, as a smoke test.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declared throughput of one benchmark iteration, used to derive
+/// elements- or bytes-per-second figures.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Measurement configuration plus the output sink.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_ms: u64,
+    samples: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let env_u64 = |name: &str, default: u64| {
+            std::env::var(name)
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(default)
+        };
+        Criterion {
+            sample_ms: env_u64("CRITERION_SAMPLE_MS", 100),
+            samples: env_u64("CRITERION_SAMPLES", 10) as usize,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+            sample_size: None,
+        }
+    }
+
+    /// Benchmarks `f` under `id` (ungrouped).
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let samples = self.samples;
+        run_benchmark(self, &id, None, samples, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing throughput/sample settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Overrides the sample count for subsequent benches.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = format!("{}/{}", self.name, id.into());
+        let samples = self.sample_size.unwrap_or(self.criterion.samples);
+        run_benchmark(self.criterion, &id, self.throughput, samples, f);
+        self
+    }
+
+    /// Ends the group (no-op; exists to mirror criterion).
+    pub fn finish(self) {}
+}
+
+/// Timing callback handed to each bench function.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `f`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark<F>(
+    criterion: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    samples: usize,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+
+    if criterion.test_mode {
+        f(&mut b);
+        println!("{id}: ok (test mode)");
+        return;
+    }
+
+    // Calibrate: grow the iteration count until one sample fills the
+    // target time (or a single iteration already exceeds it).
+    let target = Duration::from_millis(criterion.sample_ms);
+    loop {
+        f(&mut b);
+        if b.elapsed >= target || b.iters >= 1 << 24 {
+            break;
+        }
+        let grow = if b.elapsed.is_zero() {
+            16
+        } else {
+            (target.as_nanos() / b.elapsed.as_nanos().max(1) + 1).min(16) as u64
+        };
+        b.iters = (b.iters * grow.max(2)).min(1 << 24);
+    }
+
+    let mut per_iter: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            f(&mut b);
+            b.elapsed.as_nanos() as f64 / b.iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let median = per_iter[per_iter.len() / 2];
+
+    let rate = throughput.map(|t| match t {
+        Throughput::Elements(n) => format!("  thrpt: {}/s", si(n as f64 / (median * 1e-9))),
+        Throughput::Bytes(n) => format!("  thrpt: {}B/s", si(n as f64 / (median * 1e-9))),
+    });
+    println!(
+        "{id:<40} time: {:>12}/iter  [{} samples x {} iters]{}",
+        nanos(median),
+        per_iter.len(),
+        b.iters,
+        rate.unwrap_or_default()
+    );
+}
+
+fn nanos(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn si(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Bundles bench functions into a group runner, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Runs this `criterion_group!`'s bench functions in order.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,124 @@
+//! The parallel-iterator subset: `par_iter().map(..).collect::<Vec<_>>()`.
+
+use crate::{current_num_threads, run_indexed};
+
+/// Conversion into a parallel iterator over `&T`, mirroring
+/// `rayon::iter::IntoParallelRefIterator`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The `&'data T` item type.
+    type Item: Send + 'data;
+
+    /// Creates the parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Iter = ParIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Iter = ParIter<'data, T>;
+    type Item = &'data T;
+
+    fn par_iter(&'data self) -> ParIter<'data, T> {
+        ParIter { slice: self }
+    }
+}
+
+/// An indexed parallel computation: `len` items, each produced
+/// independently by index. Implementations must be safe to call from many
+/// threads at once (`Sync`), which is what lets the executor fan out.
+pub trait ParallelIterator: Sized + Sync {
+    /// The item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces item `index` (called at most once per index).
+    fn produce(&self, index: usize) -> Self::Item;
+
+    /// Maps each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Executes the computation across the installed thread count and
+    /// collects the results **in input order**.
+    fn collect<C>(self) -> C
+    where
+        C: FromParallelIterator<Self::Item>,
+    {
+        C::from_par_iter(self)
+    }
+}
+
+/// Collection types a parallel iterator can gather into.
+pub trait FromParallelIterator<T: Send> {
+    /// Gathers the items of `iter`, preserving input order.
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<I: ParallelIterator<Item = T>>(iter: I) -> Self {
+        run_indexed(iter.len(), current_num_threads(), |i| iter.produce(i))
+    }
+}
+
+/// Parallel iterator over `&[T]`.
+#[derive(Debug)]
+pub struct ParIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync + 'data> ParallelIterator for ParIter<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn produce(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+/// A mapped parallel iterator (the result of [`ParallelIterator::map`]).
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn produce(&self, index: usize) -> R {
+        (self.f)(self.base.produce(index))
+    }
+}

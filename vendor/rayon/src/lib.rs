@@ -1,0 +1,225 @@
+//! Offline stand-in for [rayon](https://crates.io/crates/rayon).
+//!
+//! This workspace builds in environments without crates.io access, so the
+//! `rayon` dependency is satisfied by this path crate: a std-only
+//! work-stealing executor exposing the (small) API subset MicroLib uses —
+//! [`ThreadPoolBuilder`]/[`ThreadPool::install`] and
+//! `slice.par_iter().map(..).collect::<Vec<_>>()`. Swapping in the real
+//! rayon is a one-line change in the workspace manifest; nothing in the
+//! call sites needs to move.
+//!
+//! Execution model: each `collect` distributes item indices round-robin
+//! over per-worker deques; workers pop from the front of their own deque
+//! and steal from the back of a victim's when empty (the classic
+//! work-stealing discipline, here with mutex-guarded deques rather than
+//! lock-free Chase-Lev ones). Results carry their item index, so the
+//! collected `Vec` is always in input order no matter which worker ran
+//! which item — parallelism never perturbs output ordering.
+
+#![warn(missing_docs)]
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+pub mod iter;
+
+pub mod prelude {
+    //! Traits that make `.par_iter()` available, mirroring `rayon::prelude`.
+    pub use crate::iter::{IntoParallelRefIterator, ParallelIterator};
+}
+
+thread_local! {
+    /// Thread count "installed" by the enclosing [`ThreadPool::install`],
+    /// if any. Parallel iterators started on this thread use it.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of threads parallel iterators on this thread will use.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(default_num_threads)
+}
+
+fn default_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+}
+
+/// Builder for a [`ThreadPool`], mirroring rayon's.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Creates a builder with the default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker count; `0` means one per available core.
+    pub fn num_threads(mut self, num_threads: usize) -> Self {
+        self.num_threads = num_threads;
+        self
+    }
+
+    /// Builds the pool. Infallible here, but kept `Result`-shaped so call
+    /// sites match the real rayon.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            default_num_threads()
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// Error building a [`ThreadPool`]; never produced by this stand-in.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A logical pool: parallel iterators run inside [`install`](Self::install)
+/// use its thread count. Workers are scoped threads spawned per operation
+/// (coarse-grained work amortizes the spawn cost; the real rayon keeps
+/// threads resident).
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's worker count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing any parallel
+    /// iterators it starts.
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        let previous = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(previous));
+        result
+    }
+}
+
+/// Runs `producer(i)` for every `i in 0..len` across `threads` workers with
+/// work stealing, returning results in index order.
+pub(crate) fn run_indexed<T, F>(len: usize, threads: usize, producer: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads.clamp(1, len.max(1));
+    if workers <= 1 || len <= 1 {
+        return (0..len).map(producer).collect();
+    }
+
+    // Round-robin pre-distribution over per-worker deques.
+    let deques: Vec<Mutex<VecDeque<usize>>> = (0..workers)
+        .map(|w| Mutex::new((w..len).step_by(workers).collect()))
+        .collect();
+
+    let mut tagged: Vec<(usize, T)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|me| {
+                let deques = &deques;
+                let producer = &producer;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    loop {
+                        // Own queue first (front), then steal (back).
+                        let job = deques[me].lock().expect("own deque").pop_front();
+                        let job = job.or_else(|| {
+                            (1..workers).find_map(|d| {
+                                deques[(me + d) % workers]
+                                    .lock()
+                                    .expect("victim deque")
+                                    .pop_back()
+                            })
+                        });
+                        match job {
+                            Some(i) => out.push((i, producer(i))),
+                            None => break,
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker panicked"))
+            .collect()
+    });
+
+    tagged.sort_unstable_by_key(|(i, _)| *i);
+    debug_assert_eq!(tagged.len(), len);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| input.par_iter().map(|x| x * 2).collect());
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_many_threads() {
+        let input: Vec<u64> = (0..257).collect();
+        let one = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let many = ThreadPoolBuilder::new().num_threads(7).build().unwrap();
+        let a: Vec<u64> = one.install(|| input.par_iter().map(|x| x * x).collect());
+        let b: Vec<u64> = many.install(|| input.par_iter().map(|x| x * x).collect());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn install_scopes_the_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn uneven_work_is_stolen() {
+        // One pathological item 100x heavier than the rest; with stealing,
+        // the remaining items must still all complete (correctness check —
+        // timing is not asserted).
+        let input: Vec<u64> = (0..64).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let out: Vec<u64> = pool.install(|| {
+            input
+                .par_iter()
+                .map(|&x| {
+                    let spins = if x == 0 { 100_000 } else { 1_000 };
+                    (0..spins).fold(x, |acc, _| std::hint::black_box(acc))
+                })
+                .collect()
+        });
+        assert_eq!(out, input);
+    }
+}
