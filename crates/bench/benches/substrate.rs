@@ -96,6 +96,17 @@ fn workload_generation(c: &mut Criterion) {
                 black_box(n)
             });
         });
+        group.bench_function(format!("{name}_replay_10k"), |b| {
+            let w = Workload::new(benchmarks::by_name(name).unwrap(), 1);
+            let buf = std::sync::Arc::new(microlib_trace::TraceBuffer::capture(&w, 10_000));
+            b.iter(|| {
+                let mut n = 0u64;
+                for inst in microlib_trace::TraceBuffer::replay(&buf) {
+                    n = n.wrapping_add(inst.pc.raw());
+                }
+                black_box(n)
+            });
+        });
     }
     group.finish();
 }

@@ -1,26 +1,109 @@
-//! Runs the complete experiment battery (every figure and table)
-//! **in-process** on the campaign engine, capturing each experiment's
-//! output under `results/`.
+//! Runs the experiment battery (every figure and table, or a `--only`
+//! selection) **in-process** on the campaign engine, capturing each
+//! experiment's output under `results/`.
 //!
-//! Unlike the old child-process orchestrator, all experiments share one
-//! [`microlib_bench::Context`]: the standard 26×13 campaign is swept
-//! exactly once and reused by the eight experiments that need it, so a
-//! full battery costs a fraction of the former sixteen independent
-//! sweeps. Captured outputs contain only deterministic content (progress
-//! and timing go to stderr), so `results/` is bit-identical for any
-//! `MICROLIB_THREADS` value.
+//! All experiments share one [`microlib_bench::Context`]: the standard
+//! 26×13 campaign is swept exactly once and reused by the eight
+//! experiments that need it, and the context's battery-wide
+//! [`ArtifactStore`](microlib::ArtifactStore) shares traces, warm-state
+//! checkpoints and duplicated cells across the rest. Captured outputs
+//! contain only deterministic content (progress and timing go to stderr),
+//! so `results/` is bit-identical for any `MICROLIB_THREADS` value and
+//! with artifact sharing on or off (`MICROLIB_ARTIFACTS=off`).
+//!
+//! # Usage
+//!
+//! ```text
+//! run_all [--only <name>[,<name>...]]
+//! ```
+//!
+//! `--only` filters the battery by experiment name (exact or unambiguous
+//! prefix — `--only fig03` runs `fig03_dbcp_fix`), so a single figure can
+//! be (re)produced without the whole battery.
 
 use microlib_bench::{experiments, Context};
 use std::fs;
 use std::panic::{self, AssertUnwindSafe};
+use std::process::exit;
 use std::time::Instant;
 
+/// Resolves one `--only` entry against the experiment list (exact name
+/// wins, else an unambiguous prefix).
+fn resolve(name: &str) -> Result<&'static str, String> {
+    if let Some((exact, _)) = experiments::ALL.iter().find(|(n, _)| *n == name) {
+        return Ok(exact);
+    }
+    let matches: Vec<&'static str> = experiments::ALL
+        .iter()
+        .map(|(n, _)| *n)
+        .filter(|n| n.starts_with(name))
+        .collect();
+    match matches.as_slice() {
+        [one] => Ok(one),
+        [] => Err(format!(
+            "unknown experiment {name:?}; available:\n  {}",
+            experiments::ALL
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join("\n  ")
+        )),
+        many => Err(format!(
+            "ambiguous experiment {name:?}: {}",
+            many.join(", ")
+        )),
+    }
+}
+
+/// Parses the command line into the set of experiment names to run.
+fn selection() -> Result<Vec<&'static str>, String> {
+    let mut args = std::env::args().skip(1);
+    let mut selected: Vec<&'static str> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => {
+                let list = args
+                    .next()
+                    .ok_or_else(|| "--only needs a comma-separated experiment list".to_owned())?;
+                for name in list.split(',').filter(|s| !s.is_empty()) {
+                    let resolved = resolve(name)?;
+                    if !selected.contains(&resolved) {
+                        selected.push(resolved);
+                    }
+                }
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?} (expected --only <list>)"
+                ))
+            }
+        }
+    }
+    if selected.is_empty() {
+        Ok(experiments::ALL.iter().map(|(n, _)| *n).collect())
+    } else {
+        Ok(selected)
+    }
+}
+
 fn main() {
+    let selected = match selection() {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("{e}");
+            exit(2);
+        }
+    };
     fs::create_dir_all("results").expect("results dir");
     let mut cx = Context::new();
     let battery = Instant::now();
     let mut failed = 0usize;
+    let mut ran = 0usize;
     for (name, run) in experiments::ALL {
+        if !selected.contains(name) {
+            continue;
+        }
+        ran += 1;
         println!(">>> {name}");
         let t = Instant::now();
         let mut captured: Vec<u8> = Vec::new();
@@ -47,13 +130,26 @@ fn main() {
                 eprintln!("{name} FAILED: {msg} (partial capture in {path})");
             }
         }
+        // Warm checkpoints only pay off within one experiment's sweeps
+        // (different experiments warm different configurations); traces
+        // and the cell memo keep earning across the battery and stay.
+        cx.store().clear_warm_states();
     }
+    let stats = cx.store().stats();
+    eprintln!(
+        "artifact store: traces {}/{} hits, warm states {}/{} hits, cell memo {}/{} hits",
+        stats.trace_hits,
+        stats.trace_hits + stats.trace_misses,
+        stats.warm_hits,
+        stats.warm_hits + stats.warm_misses,
+        stats.memo_hits,
+        stats.memo_hits + stats.memo_misses,
+    );
     println!(
-        "\nall {} experiments done in {:.1?} ({failed} failed); results under results/",
-        experiments::ALL.len(),
+        "\nall {ran} experiments done in {:.1?} ({failed} failed); results under results/",
         battery.elapsed()
     );
     if failed > 0 {
-        std::process::exit(1);
+        exit(1);
     }
 }

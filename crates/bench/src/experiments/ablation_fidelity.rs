@@ -17,7 +17,7 @@ const BENCHES: [&str; 6] = ["swim", "mgrid", "mcf", "gzip", "gcc", "crafty"];
 /// # Errors
 ///
 /// Propagates write failures on `w`.
-pub fn run(_cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
+pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
     crate::header(
         w,
         "ablation_fidelity",
@@ -62,7 +62,7 @@ pub fn run(_cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
             seed: crate::std_seed(),
             threads: crate::std_threads(),
         };
-        let matrix = crate::sweep(&cfg);
+        let matrix = cx.sweep(&cfg);
         let ipcs: Vec<f64> = BENCHES
             .iter()
             .map(|b| matrix.result(b, MechanismKind::Base).perf.ipc())

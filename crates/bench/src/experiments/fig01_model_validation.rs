@@ -5,7 +5,7 @@
 //! aligning the models; the idealized model overestimates IPC.
 
 use crate::Context;
-use microlib::compare_fidelity;
+use microlib::compare_fidelity_with;
 use microlib::report::{pct, text_table};
 use microlib_trace::benchmarks;
 use rayon::prelude::*;
@@ -16,7 +16,7 @@ use std::io::{self, Write};
 /// # Errors
 ///
 /// Propagates write failures on `w`.
-pub fn run(_cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
+pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
     crate::header(
         w,
         "fig01_model_validation",
@@ -25,10 +25,11 @@ pub fn run(_cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
     )?;
     let window = crate::std_window();
     let seed = crate::std_seed();
+    let store = cx.store().clone();
     let comparisons = crate::par_pool().install(|| {
         benchmarks::NAMES
             .par_iter()
-            .map(|bench| compare_fidelity(bench, window, seed))
+            .map(|bench| compare_fidelity_with(&store, bench, window, seed))
             .collect::<Vec<_>>()
     });
     let mut rows = Vec::new();

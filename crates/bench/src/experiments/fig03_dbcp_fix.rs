@@ -5,7 +5,7 @@
 //! implementation.
 
 use crate::Context;
-use microlib::compare_dbcp_variants;
+use microlib::compare_dbcp_variants_with;
 use microlib::report::{pct, text_table};
 use microlib_trace::benchmarks;
 use rayon::prelude::*;
@@ -16,7 +16,7 @@ use std::io::{self, Write};
 /// # Errors
 ///
 /// Propagates write failures on `w`.
-pub fn run(_cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
+pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
     crate::header(
         w,
         "fig03_dbcp_fix",
@@ -25,10 +25,11 @@ pub fn run(_cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
     )?;
     let window = crate::article_window();
     let seed = crate::std_seed();
+    let store = cx.store().clone();
     let comparisons = crate::par_pool().install(|| {
         benchmarks::NAMES
             .par_iter()
-            .map(|bench| compare_dbcp_variants(bench, window, seed))
+            .map(|bench| compare_dbcp_variants_with(&store, bench, window, seed))
             .collect::<Vec<_>>()
     });
     let mut rows = Vec::new();

@@ -27,18 +27,21 @@ pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
     let base = crate::std_experiment();
 
     // The sdram-170 column IS the standard campaign (Table 1 baseline);
-    // only the two alternative memory models need fresh sweeps.
-    let resweep = |memory: MemoryModel| -> Matrix {
-        crate::sweep(&ExperimentConfig {
+    // only the two alternative memory models need fresh sweeps, both over
+    // the battery-wide artifact store.
+    let variant = |memory: MemoryModel| -> ExperimentConfig {
+        ExperimentConfig {
             system: SystemConfig {
                 memory,
                 ..base.system.clone()
             },
             ..base.clone()
-        })
+        }
     };
-    let constant = resweep(MemoryModel::simplescalar_70());
-    let sdram_70 = resweep(MemoryModel::Sdram(SdramConfig::scaled_to_70_cycles()));
+    let constant = cx.sweep(&variant(MemoryModel::simplescalar_70()));
+    let sdram_70 = cx.sweep(&variant(MemoryModel::Sdram(
+        SdramConfig::scaled_to_70_cycles(),
+    )));
     let sdram_170 = cx.std_matrix();
     let results: [(&str, &Matrix); 3] = [
         ("constant-70", &constant),

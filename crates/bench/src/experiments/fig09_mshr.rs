@@ -26,7 +26,7 @@ pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
     // variant needs a fresh sweep.
     let mut infinite_cfg = crate::std_experiment();
     infinite_cfg.system.fidelity.finite_mshr = false;
-    let infinite = crate::sweep(&infinite_cfg);
+    let infinite = cx.sweep(&infinite_cfg);
     let finite = cx.std_matrix();
 
     let names: Vec<&str> = finite.benchmarks().iter().map(String::as_str).collect();

@@ -5,7 +5,7 @@
 
 use crate::Context;
 use microlib::report::{pct, text_table};
-use microlib::run_custom;
+use microlib::run_custom_with;
 use microlib_mech::{MechanismKind, TagCorrelatingPrefetcher};
 use microlib_trace::benchmarks;
 use rayon::prelude::*;
@@ -23,18 +23,20 @@ pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
         "Fig 10 (Effect of second-guessing: TCP prefetch queue size)",
         "TCP speedup with a 128-entry vs a 1-entry request queue, per benchmark",
     )?;
-    let cfg = microlib_model::SystemConfig::baseline();
+    let cfg = std::sync::Arc::new(microlib_model::SystemConfig::baseline());
     let opts = crate::std_options();
     // The Base and default-queue (128) TCP cells ARE standard-campaign
     // cells; only the 1-entry variant needs fresh simulation (one run per
     // benchmark, each a parallel work item).
+    let store = cx.store().clone();
     let matrix = cx.std_matrix();
     let q1_speedups: Vec<f64> = crate::par_pool().install(|| {
         benchmarks::NAMES
             .par_iter()
             .map(|bench| {
                 let base = matrix.result(bench, MechanismKind::Base);
-                let q1 = run_custom(
+                let q1 = run_custom_with(
+                    &store,
                     &cfg,
                     Box::new(TagCorrelatingPrefetcher::with_queue_capacity(1)),
                     MechanismKind::Tcp,

@@ -13,16 +13,20 @@
 //!   (default 150 000);
 //! - `MICROLIB_SIM` — detailed-simulated instructions (default 100 000);
 //! - `MICROLIB_SEED` — workload seed (default `0xC0FFEE`);
-//! - `MICROLIB_THREADS` — worker threads (default: all cores).
+//! - `MICROLIB_THREADS` — worker threads (default: all cores);
+//! - `MICROLIB_ARTIFACTS` — `off`/`0`/`false` disables the shared
+//!   artifact store (traces, warm checkpoints, cell memo); results are
+//!   bit-identical either way.
 //!
 //! Result tables are written to stdout and are bit-identical for any
 //! `MICROLIB_THREADS` value; progress and timing go to stderr.
 
 #![warn(missing_docs)]
 
-use microlib::{Campaign, ExperimentConfig, Matrix, SimOptions};
+use microlib::{ArtifactStore, Campaign, ExperimentConfig, Matrix, SimOptions};
 use microlib_trace::TraceWindow;
 use std::io::Write as _;
+use std::sync::Arc;
 
 pub mod experiments;
 
@@ -97,7 +101,23 @@ fn env_u64(name: &str, default: u64) -> u64 {
 ///
 /// Panics if the configuration is rejected or any cell fails.
 pub fn sweep(cfg: &ExperimentConfig) -> Matrix {
-    let campaign = Campaign::new(cfg.clone()).with_progress(|u| {
+    sweep_with(None, cfg)
+}
+
+/// [`sweep`] over a shared [`ArtifactStore`] (`None` keeps the campaign's
+/// own per-sweep store). `run_all` passes its battery-wide store so
+/// overlapping cells across experiments are computed once.
+///
+/// # Panics
+///
+/// Panics if the configuration is rejected or any cell fails (see
+/// [`sweep`]).
+pub fn sweep_with(store: Option<Arc<ArtifactStore>>, cfg: &ExperimentConfig) -> Matrix {
+    let mut campaign = Campaign::new(cfg.clone());
+    if let Some(store) = store {
+        campaign = campaign.with_store(store);
+    }
+    let campaign = campaign.with_progress(|u| {
         eprint!(
             "\r  [{}/{}] {} x {}        ",
             u.completed, u.total, u.benchmark, u.mechanism
@@ -132,15 +152,39 @@ pub fn sweep(cfg: &ExperimentConfig) -> Matrix {
 /// matrix is computed once and reused by every experiment that sweeps the
 /// paper's main setup (`run_all` runs eight such experiments off a single
 /// sweep).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Context {
     std_matrix: Option<Matrix>,
+    store: Arc<ArtifactStore>,
+}
+
+impl Default for Context {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl Context {
-    /// Creates an empty context (no sweeps run yet).
+    /// Creates an empty context (no sweeps run yet) with a battery-wide
+    /// artifact store honouring `MICROLIB_ARTIFACTS`.
     pub fn new() -> Self {
-        Context::default()
+        Context {
+            std_matrix: None,
+            store: Arc::new(ArtifactStore::from_env()),
+        }
+    }
+
+    /// The battery-wide artifact store. Experiments route their sweeps
+    /// and single runs through it so traces, warm states and duplicated
+    /// cells are shared across the whole battery.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+
+    /// Runs `cfg` through the campaign engine over the battery-wide
+    /// artifact store (see [`sweep`] for the failure handling).
+    pub fn sweep(&self, cfg: &ExperimentConfig) -> Matrix {
+        sweep_with(Some(Arc::clone(&self.store)), cfg)
     }
 
     /// The matrix of the standard experiment ([`std_experiment`]), swept on
@@ -148,7 +192,7 @@ impl Context {
     /// the process.
     pub fn std_matrix(&mut self) -> &Matrix {
         if self.std_matrix.is_none() {
-            self.std_matrix = Some(sweep(&std_experiment()));
+            self.std_matrix = Some(sweep_with(Some(Arc::clone(&self.store)), &std_experiment()));
         }
         self.std_matrix.as_ref().expect("just computed")
     }

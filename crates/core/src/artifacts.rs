@@ -1,0 +1,413 @@
+//! The shared-artifact store: one home for everything a simulation run
+//! needs that does not depend on the mechanism under study.
+//!
+//! A (benchmark × mechanism) campaign repeats three expensive,
+//! mechanism-independent computations for every cell: generating the
+//! instruction stream, replaying the functional warmup, and — across
+//! experiments — re-simulating cells another sweep already produced. An
+//! [`ArtifactStore`] computes each once and shares it:
+//!
+//! - **traces** ([`TraceBuffer`]): keyed by (benchmark, seed), grown to
+//!   the longest window requested so far, replayed by every cell through
+//!   a zero-copy cursor;
+//! - **warm states** ([`WarmState`]): keyed by (benchmark, seed, skip,
+//!   configuration), the mechanism-independent cache/memory checkpoint
+//!   plus the recorded mechanism-visible event log (see
+//!   [`microlib_mem::capture_warm_state`]);
+//! - **cell results** ([`RunResult`]): memoized by full content key
+//!   (benchmark, mechanism, seed, window, options, configuration), so
+//!   re-sweeps and overlapping experiments get identical cells for free.
+//!
+//! Sharing never changes results: replayed traces are
+//! instruction-for-instruction identical to streamed ones, warm replay
+//! reproduces the exact per-mechanism warm effects for mechanisms that
+//! opt in (others keep the full warm path), and the memo key covers every
+//! input a run depends on. `tests/artifacts.rs` asserts equality for all
+//! thirteen study mechanisms, cold vs shared.
+//!
+//! The `MICROLIB_ARTIFACTS` environment variable (`off`/`0`/`false` to
+//! disable) gates the default stores created by
+//! [`Campaign`](crate::Campaign); a disabled store makes every run take
+//! the legacy cold path.
+
+use crate::simulator::{RunResult, SimError, SimOptions};
+use microlib_mech::MechanismKind;
+use microlib_mem::{capture_warm_state, WarmState};
+use microlib_model::SystemConfig;
+use microlib_trace::{benchmarks, TraceBuffer, Workload};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A stable identity string for a [`SystemConfig`]: every field, via the
+/// `Debug` rendering (exhaustive by construction — new fields show up
+/// automatically). Used as the configuration component of warm-state and
+/// memo keys.
+pub fn config_key(config: &SystemConfig) -> String {
+    format!("{config:?}")
+}
+
+#[derive(Default)]
+struct TraceSlot {
+    state: Mutex<Option<(Arc<Workload>, Arc<TraceBuffer>)>>,
+}
+
+/// Capture gate for one warm key: the first requester is told to take
+/// the (equally priced) cold path; the capture — which costs roughly one
+/// extra warm phase plus the event log — only happens once a second
+/// requester proves the state will actually be reused.
+#[derive(Default)]
+struct WarmGate {
+    requests: u32,
+    state: Option<Arc<WarmState>>,
+}
+/// (benchmark, seed, skip, configuration key) — see [`config_key`].
+type WarmKey = (&'static str, u64, u64, String);
+
+/// Hit/miss counters for the three artifact classes (observability; the
+/// numbers are reported by `run_all` on stderr).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ArtifactStoreStats {
+    /// Trace requests served from a shared buffer.
+    pub trace_hits: u64,
+    /// Trace requests that had to build (or extend) a buffer.
+    pub trace_misses: u64,
+    /// Warm-state requests served from a shared checkpoint.
+    pub warm_hits: u64,
+    /// Warm-state requests that had to run a recording warm phase.
+    pub warm_misses: u64,
+    /// First-time warm-state requests declined (capture deferred until a
+    /// second requester proves reuse).
+    pub warm_declined: u64,
+    /// Cell results served from the memo cache.
+    pub memo_hits: u64,
+    /// Cell results that had to simulate.
+    pub memo_misses: u64,
+}
+
+/// Shared, thread-safe store of mechanism-independent simulation
+/// artifacts (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use microlib::{run_one_with, ArtifactStore, SimOptions};
+/// use microlib_mech::MechanismKind;
+/// use microlib_model::SystemConfig;
+/// use microlib_trace::TraceWindow;
+/// use std::sync::Arc;
+///
+/// let store = ArtifactStore::new();
+/// let config = Arc::new(SystemConfig::baseline_constant_memory());
+/// let opts = SimOptions {
+///     window: TraceWindow::new(2_000, 1_000),
+///     ..SimOptions::default()
+/// };
+/// let a = run_one_with(&store, &config, MechanismKind::Ghb, "swim", &opts)?;
+/// // Identical request: served from the memo cache, same result.
+/// let b = run_one_with(&store, &config, MechanismKind::Ghb, "swim", &opts)?;
+/// assert_eq!(a.perf, b.perf);
+/// assert_eq!(store.stats().memo_hits, 1);
+/// # Ok::<(), microlib::SimError>(())
+/// ```
+pub struct ArtifactStore {
+    enabled: bool,
+    traces: Mutex<HashMap<(&'static str, u64), Arc<TraceSlot>>>,
+    warm: Mutex<HashMap<WarmKey, Arc<Mutex<WarmGate>>>>,
+    memo: Mutex<HashMap<String, Arc<RunResult>>>,
+    trace_hits: AtomicU64,
+    trace_misses: AtomicU64,
+    warm_hits: AtomicU64,
+    warm_misses: AtomicU64,
+    warm_declined: AtomicU64,
+    memo_hits: AtomicU64,
+    memo_misses: AtomicU64,
+}
+
+impl std::fmt::Debug for ArtifactStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ArtifactStore")
+            .field("enabled", &self.enabled)
+            .field("stats", &self.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Default for ArtifactStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ArtifactStore {
+    fn with_enabled(enabled: bool) -> Self {
+        ArtifactStore {
+            enabled,
+            traces: Mutex::new(HashMap::new()),
+            warm: Mutex::new(HashMap::new()),
+            memo: Mutex::new(HashMap::new()),
+            trace_hits: AtomicU64::new(0),
+            trace_misses: AtomicU64::new(0),
+            warm_hits: AtomicU64::new(0),
+            warm_misses: AtomicU64::new(0),
+            warm_declined: AtomicU64::new(0),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
+        }
+    }
+
+    /// An enabled, empty store.
+    pub fn new() -> Self {
+        Self::with_enabled(true)
+    }
+
+    /// A disabled store: every consumer falls back to the legacy cold
+    /// path (fresh generation, full per-mechanism warmup, no memo).
+    pub fn disabled() -> Self {
+        Self::with_enabled(false)
+    }
+
+    /// A store honouring the `MICROLIB_ARTIFACTS` environment variable
+    /// (enabled unless it is `off`, `0` or `false`).
+    pub fn from_env() -> Self {
+        Self::with_enabled(Self::enabled_by_env())
+    }
+
+    /// Whether `MICROLIB_ARTIFACTS` currently allows artifact sharing.
+    pub fn enabled_by_env() -> bool {
+        !matches!(
+            std::env::var("MICROLIB_ARTIFACTS").as_deref(),
+            Ok("off" | "0" | "false")
+        )
+    }
+
+    /// Whether this store shares artifacts (`false` for
+    /// [`disabled`](ArtifactStore::disabled) stores).
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Hit/miss counters accumulated so far.
+    pub fn stats(&self) -> ArtifactStoreStats {
+        ArtifactStoreStats {
+            trace_hits: self.trace_hits.load(Ordering::Relaxed),
+            trace_misses: self.trace_misses.load(Ordering::Relaxed),
+            warm_hits: self.warm_hits.load(Ordering::Relaxed),
+            warm_misses: self.warm_misses.load(Ordering::Relaxed),
+            warm_declined: self.warm_declined.load(Ordering::Relaxed),
+            memo_hits: self.memo_hits.load(Ordering::Relaxed),
+            memo_misses: self.memo_misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The shared workload and trace buffer for `(benchmark, seed)`,
+    /// covering at least `min_len` instructions. The buffer is built on
+    /// first use and regenerated (longer) when a caller needs more than
+    /// any previous one; existing replay cursors keep their `Arc` to the
+    /// old buffer and are unaffected.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownBenchmark`] if `benchmark` is not in the
+    /// registry.
+    pub fn trace(
+        &self,
+        benchmark: &str,
+        seed: u64,
+        min_len: u64,
+    ) -> Result<(Arc<Workload>, Arc<TraceBuffer>), SimError> {
+        let profile = benchmarks::by_name(benchmark)
+            .ok_or_else(|| SimError::UnknownBenchmark(benchmark.to_owned()))?;
+        let slot = {
+            let mut traces = self.traces.lock().expect("trace map lock");
+            Arc::clone(traces.entry((profile.name, seed)).or_default())
+        };
+        // Per-slot lock: concurrent requests for the same (benchmark,
+        // seed) wait for one builder instead of duplicating the capture;
+        // requests for other benchmarks proceed in parallel.
+        let mut state = slot.state.lock().expect("trace slot lock");
+        if let Some((workload, buffer)) = state.as_ref() {
+            if buffer.len() >= min_len {
+                self.trace_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((Arc::clone(workload), Arc::clone(buffer)));
+            }
+        }
+        self.trace_misses.fetch_add(1, Ordering::Relaxed);
+        let workload = match state.take() {
+            Some((workload, _short)) => workload,
+            None => Arc::new(Workload::new(profile, seed)),
+        };
+        let buffer = Arc::new(TraceBuffer::capture(&workload, min_len));
+        *state = Some((Arc::clone(&workload), Arc::clone(&buffer)));
+        Ok((workload, buffer))
+    }
+
+    /// The shared warm state for `(benchmark, seed, skip)` under
+    /// `config`: the mechanism-independent checkpoint plus the recorded
+    /// warm event log.
+    ///
+    /// Returns `Ok(None)` for the *first* request of a key — capturing
+    /// costs roughly one extra warm phase, so the store only records once
+    /// a second requester proves the state is reused; the first caller
+    /// runs its (equally priced) full warm phase instead. From the second
+    /// request on, the state is captured once and served shared.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownBenchmark`] for unknown benchmarks,
+    /// [`SimError::Config`] for invalid configurations.
+    pub fn warm_state(
+        &self,
+        benchmark: &str,
+        seed: u64,
+        skip: u64,
+        config: &Arc<SystemConfig>,
+    ) -> Result<Option<Arc<WarmState>>, SimError> {
+        config.validate()?;
+        let (workload, buffer) = self.trace(benchmark, seed, skip)?;
+        let gate = {
+            let mut warm = self.warm.lock().expect("warm map lock");
+            Arc::clone(
+                warm.entry((buffer.benchmark(), seed, skip, config_key(config)))
+                    .or_default(),
+            )
+        };
+        // Per-key lock: a concurrent same-key requester waits for the
+        // capture instead of duplicating it.
+        let mut gate = gate.lock().expect("warm gate lock");
+        if let Some(state) = &gate.state {
+            self.warm_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(Arc::clone(state)));
+        }
+        gate.requests += 1;
+        if gate.requests < 2 {
+            self.warm_declined.fetch_add(1, Ordering::Relaxed);
+            return Ok(None);
+        }
+        self.warm_misses.fetch_add(1, Ordering::Relaxed);
+        let insts = TraceBuffer::replay(&buffer)
+            .take(skip as usize)
+            .map(|inst| (inst.pc, inst.warm_mem_ref()));
+        let state = Arc::new(
+            capture_warm_state(Arc::clone(config), |fm| workload.initialize(fm), insts)
+                .expect("configuration validated above"),
+        );
+        gate.state = Some(Arc::clone(&state));
+        Ok(Some(state))
+    }
+
+    /// Drops all cached warm states (the largest artifacts). Long-lived
+    /// stores — `run_all` keeps one across the whole battery — call this
+    /// between experiments: warm states only pay off *within* a sweep,
+    /// while traces and the result memo stay useful across experiments
+    /// and are kept.
+    pub fn clear_warm_states(&self) {
+        self.warm.lock().expect("warm map lock").clear();
+    }
+
+    pub(crate) fn memo_key(
+        config: &SystemConfig,
+        mechanism: MechanismKind,
+        benchmark: &str,
+        opts: &SimOptions,
+    ) -> String {
+        format!(
+            "{benchmark}|{mechanism:?}|seed={:#x}|window={}+{}|check={}|max={}|{}",
+            opts.seed,
+            opts.window.skip,
+            opts.window.simulate,
+            opts.check_values,
+            opts.max_cycles,
+            config_key(config),
+        )
+    }
+
+    pub(crate) fn memo_get(&self, key: &str) -> Option<Arc<RunResult>> {
+        let hit = self.memo.lock().expect("memo lock").get(key).cloned();
+        match &hit {
+            Some(_) => self.memo_hits.fetch_add(1, Ordering::Relaxed),
+            None => self.memo_misses.fetch_add(1, Ordering::Relaxed),
+        };
+        hit
+    }
+
+    pub(crate) fn memo_put(&self, key: String, result: RunResult) {
+        self.memo
+            .lock()
+            .expect("memo lock")
+            .insert(key, Arc::new(result));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_shared_and_grows() {
+        let store = ArtifactStore::new();
+        let (w1, b1) = store.trace("swim", 7, 1_000).unwrap();
+        let (w2, b2) = store.trace("swim", 7, 500).unwrap();
+        assert!(Arc::ptr_eq(&w1, &w2), "workload shared");
+        assert!(Arc::ptr_eq(&b1, &b2), "shorter request reuses the buffer");
+        let (w3, b3) = store.trace("swim", 7, 2_000).unwrap();
+        assert!(Arc::ptr_eq(&w1, &w3), "workload survives buffer growth");
+        assert_eq!(b3.len(), 2_000);
+        // The grown buffer replays the same prefix.
+        let old: Vec<_> = TraceBuffer::replay(&b1).collect();
+        let new: Vec<_> = TraceBuffer::replay(&b3).take(1_000).collect();
+        assert_eq!(old, new);
+        let stats = store.stats();
+        assert_eq!(stats.trace_hits, 1);
+        assert_eq!(stats.trace_misses, 2);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        let store = ArtifactStore::new();
+        assert!(matches!(
+            store.trace("quake3", 1, 10),
+            Err(SimError::UnknownBenchmark(_))
+        ));
+    }
+
+    #[test]
+    fn warm_state_captures_on_second_request() {
+        let store = ArtifactStore::new();
+        let base = Arc::new(SystemConfig::baseline_constant_memory());
+        assert!(
+            store.warm_state("swim", 7, 1_000, &base).unwrap().is_none(),
+            "first request is declined (capture deferred until reuse)"
+        );
+        let b = store.warm_state("swim", 7, 1_000, &base).unwrap().unwrap();
+        let c = store.warm_state("swim", 7, 1_000, &base).unwrap().unwrap();
+        assert!(Arc::ptr_eq(&b, &c));
+        let mut other = SystemConfig::baseline_constant_memory();
+        other.l1d.mshr_entries = 4;
+        let other = Arc::new(other);
+        assert!(
+            store
+                .warm_state("swim", 7, 1_000, &other)
+                .unwrap()
+                .is_none(),
+            "different config gates independently"
+        );
+        let stats = store.stats();
+        assert_eq!(stats.warm_declined, 2);
+        assert_eq!(stats.warm_misses, 1);
+        assert_eq!(stats.warm_hits, 1);
+        store.clear_warm_states();
+        assert!(
+            store.warm_state("swim", 7, 1_000, &base).unwrap().is_none(),
+            "cleared states re-arm the gate"
+        );
+    }
+
+    #[test]
+    fn env_knob_parses() {
+        // Not set in the test environment: sharing defaults on.
+        assert!(ArtifactStore::from_env().is_enabled() == ArtifactStore::enabled_by_env());
+        assert!(!ArtifactStore::disabled().is_enabled());
+        assert!(ArtifactStore::new().is_enabled());
+    }
+}

@@ -14,11 +14,13 @@
 //! failure next to its coordinates, so one bad configuration no longer
 //! aborts a 338-cell sweep.
 
+use crate::artifacts::ArtifactStore;
 use crate::experiment::{ExperimentConfig, Matrix};
-use crate::simulator::{run_one, RunResult, SimError};
+use crate::simulator::{run_one, run_one_with, RunResult, SimError};
 use microlib_mech::MechanismKind;
 use rayon::prelude::*;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Progress snapshot passed to the campaign's progress callback after each
@@ -71,6 +73,7 @@ type ProgressFn = dyn Fn(&CellUpdate<'_>) + Send + Sync;
 pub struct Campaign {
     config: ExperimentConfig,
     progress: Option<Box<ProgressFn>>,
+    store: Option<Arc<ArtifactStore>>,
 }
 
 impl std::fmt::Debug for Campaign {
@@ -78,17 +81,47 @@ impl std::fmt::Debug for Campaign {
         f.debug_struct("Campaign")
             .field("config", &self.config)
             .field("progress", &self.progress.as_ref().map(|_| ".."))
+            .field("store", &self.store)
             .finish()
     }
 }
 
 impl Campaign {
     /// Creates a campaign over `config`'s (benchmark × mechanism) grid.
+    ///
+    /// Unless `MICROLIB_ARTIFACTS` disables sharing, the campaign owns a
+    /// fresh [`ArtifactStore`], so its cells share one trace buffer and
+    /// one warm state per benchmark instead of re-deriving them per
+    /// mechanism. Use [`with_store`](Campaign::with_store) to share
+    /// artifacts *across* campaigns as well.
     pub fn new(config: ExperimentConfig) -> Self {
+        let store = ArtifactStore::enabled_by_env().then(|| Arc::new(ArtifactStore::new()));
         Campaign {
             config,
             progress: None,
+            store,
         }
+    }
+
+    /// Replaces the campaign's artifact store with a shared one (a
+    /// [disabled](ArtifactStore::disabled) store turns sharing off and
+    /// routes every cell through the legacy cold path).
+    pub fn with_store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = store.is_enabled().then_some(store);
+        self
+    }
+
+    /// Disables artifact sharing for this campaign: every cell generates
+    /// its trace and runs its full warmup from scratch (the legacy path;
+    /// results are identical either way).
+    pub fn without_artifacts(mut self) -> Self {
+        self.store = None;
+        self
+    }
+
+    /// The campaign's artifact store, if sharing is enabled.
+    pub fn artifact_store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref()
     }
 
     /// Installs a progress callback, invoked from worker threads after
@@ -145,6 +178,9 @@ impl Campaign {
             .collect();
         let total = jobs.len();
         let opts = self.config.options();
+        // One Arc'd configuration for the whole sweep: cells share it
+        // instead of deep-cloning SystemConfig per run.
+        let system = Arc::new(self.config.system.clone());
 
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(self.effective_threads().clamp(1, total.max(1)))
@@ -156,7 +192,10 @@ impl Campaign {
             jobs.par_iter()
                 .map(|&(benchmark, mechanism)| {
                     let started = Instant::now();
-                    let outcome = run_one(&self.config.system, mechanism, benchmark, &opts);
+                    let outcome = match &self.store {
+                        Some(store) => run_one_with(store, &system, mechanism, benchmark, &opts),
+                        None => run_one(&self.config.system, mechanism, benchmark, &opts),
+                    };
                     let elapsed = started.elapsed();
                     if let Some(progress) = &self.progress {
                         progress(&CellUpdate {

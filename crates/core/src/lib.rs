@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod artifacts;
 mod campaign;
 mod experiment;
 mod ranking;
@@ -61,16 +62,20 @@ mod sensitivity;
 mod simulator;
 mod validation;
 
+pub use artifacts::{config_key, ArtifactStore, ArtifactStoreStats};
 pub use campaign::{Campaign, CampaignCell, CampaignReport, CellUpdate};
 pub use experiment::{run_matrix, ExperimentConfig, Matrix};
 pub use ranking::{
     rank_mechanisms, ranking_row, subset_winner_analysis, RankedMechanism, SubsetWinners,
 };
 pub use sensitivity::{benchmark_sensitivity, sensitivity_classes, BenchmarkSensitivity};
-pub use simulator::{run_custom, run_one, RunResult, SimError, SimOptions};
+pub use simulator::{
+    run_custom, run_custom_with, run_one, run_one_with, RunResult, SimError, SimOptions,
+};
 pub use validation::{
-    article_speedup, compare_dbcp_variants, compare_fidelity, compare_setups, speedup_of,
-    DbcpComparison, FidelityComparison, SetupComparison,
+    article_speedup, article_speedup_with, compare_dbcp_variants, compare_dbcp_variants_with,
+    compare_fidelity, compare_fidelity_with, compare_setups, speedup_of, DbcpComparison,
+    FidelityComparison, SetupComparison,
 };
 
 // Re-export the component crates so downstream users need only one

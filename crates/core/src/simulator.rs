@@ -1,6 +1,7 @@
 //! The canonical driver: workload + out-of-order core + memory hierarchy +
 //! one mechanism, run over a trace window.
 
+use crate::artifacts::ArtifactStore;
 use microlib_cpu::{CoreStats, OoOCore};
 use microlib_mech::MechanismKind;
 use microlib_mem::{IntegrityError, MemorySystem};
@@ -8,8 +9,9 @@ use microlib_model::{
     CacheStats, ConfigError, HardwareBudget, MechanismStats, MemoryStats, PerfSummary,
     PrefetchQueueStats, SystemConfig,
 };
-use microlib_trace::{benchmarks, TraceWindow, Workload};
+use microlib_trace::{benchmarks, InstStream, TraceBuffer, TraceWindow, Workload};
 use std::fmt;
+use std::sync::Arc;
 
 /// Everything a simulation run needs besides the system configuration.
 #[derive(Clone, Copy, Debug)]
@@ -52,8 +54,9 @@ impl SimOptions {
 /// Complete measurements from one simulation run.
 #[derive(Clone, Debug)]
 pub struct RunResult {
-    /// Benchmark name.
-    pub benchmark: String,
+    /// Benchmark name (the registry's static name — benchmarks are a
+    /// static catalog, so results carry no per-run string allocation).
+    pub benchmark: &'static str,
     /// Mechanism configuration simulated.
     pub mechanism: MechanismKind,
     /// Committed instructions / cycles.
@@ -133,7 +136,9 @@ impl From<ConfigError> for SimError {
     }
 }
 
-/// Runs one (benchmark, mechanism, configuration) simulation.
+/// Runs one (benchmark, mechanism, configuration) simulation on the
+/// legacy cold path (fresh trace generation, full warmup). Sweeps should
+/// prefer [`run_one_with`], which shares mechanism-independent artifacts.
 ///
 /// # Errors
 ///
@@ -168,7 +173,60 @@ pub fn run_one(
     benchmark: &str,
     opts: &SimOptions,
 ) -> Result<RunResult, SimError> {
-    run_custom(config, mechanism.build(), mechanism, benchmark, opts)
+    simulate(
+        None,
+        Arc::new(config.clone()),
+        mechanism.build(),
+        mechanism,
+        benchmark,
+        opts,
+    )
+}
+
+/// Like [`run_one`], but sharing mechanism-independent artifacts through
+/// `store`: the trace buffer and (for mechanisms whose warmup is
+/// event-replayable) the warm checkpoint are computed once per
+/// (benchmark, configuration) and reused, and identical cells are served
+/// from the store's result memo. Results are bit-identical to
+/// [`run_one`]'s.
+///
+/// A [disabled](ArtifactStore::disabled) store routes straight to the
+/// cold path.
+///
+/// # Errors
+///
+/// Same conditions as [`run_one`].
+pub fn run_one_with(
+    store: &ArtifactStore,
+    config: &Arc<SystemConfig>,
+    mechanism: MechanismKind,
+    benchmark: &str,
+    opts: &SimOptions,
+) -> Result<RunResult, SimError> {
+    if !store.is_enabled() {
+        return simulate(
+            None,
+            Arc::clone(config),
+            mechanism.build(),
+            mechanism,
+            benchmark,
+            opts,
+        );
+    }
+    let key = ArtifactStore::memo_key(config, mechanism, benchmark, opts);
+    if let Some(hit) = store.memo_get(&key) {
+        return Ok((*hit).clone());
+    }
+    let result = simulate(
+        Some(store),
+        Arc::clone(config),
+        mechanism.build(),
+        mechanism,
+        benchmark,
+        opts,
+    )?;
+    store.memo_put(key, result.clone());
+    Ok(result)
 }
 
 /// Like [`run_one`] but with a caller-constructed mechanism instance —
@@ -185,40 +243,97 @@ pub fn run_custom(
     benchmark: &str,
     opts: &SimOptions,
 ) -> Result<RunResult, SimError> {
+    simulate(None, Arc::new(config.clone()), mech, label, benchmark, opts)
+}
+
+/// Like [`run_custom`], but sharing trace and warm artifacts through
+/// `store`. Caller-constructed mechanisms are opaque, so — unlike
+/// [`run_one_with`] — results are **not** memoized; only the
+/// mechanism-independent artifacts are shared.
+///
+/// # Errors
+///
+/// Same conditions as [`run_one`].
+pub fn run_custom_with(
+    store: &ArtifactStore,
+    config: &Arc<SystemConfig>,
+    mech: Box<dyn microlib_model::Mechanism>,
+    label: MechanismKind,
+    benchmark: &str,
+    opts: &SimOptions,
+) -> Result<RunResult, SimError> {
+    let store = store.is_enabled().then_some(store);
+    simulate(store, Arc::clone(config), mech, label, benchmark, opts)
+}
+
+/// The one simulation driver behind every `run_*` entry point.
+///
+/// With a store, the trace is replayed from the shared [`TraceBuffer`]
+/// and the warm phase either restores the shared checkpoint + replays the
+/// recorded mechanism events (mechanisms that opt in via
+/// [`warm_events_only`](microlib_model::Mechanism::warm_events_only)) or
+/// runs the exact full warm path over the shared trace (everything else).
+/// Without a store, the legacy path: generate, initialize, warm, run.
+fn simulate(
+    store: Option<&ArtifactStore>,
+    config: Arc<SystemConfig>,
+    mech: Box<dyn microlib_model::Mechanism>,
+    label: MechanismKind,
+    benchmark: &str,
+    opts: &SimOptions,
+) -> Result<RunResult, SimError> {
     let profile = benchmarks::by_name(benchmark)
         .ok_or_else(|| SimError::UnknownBenchmark(benchmark.to_owned()))?;
-    let workload = Workload::new(profile, opts.seed);
-
+    let benchmark: &'static str = profile.name;
     let mechanism = label;
     let hardware = mech.hardware();
-    let mut mem = MemorySystem::new(config.clone(), vec![mech])?;
+    let warm_replayable = mech.warm_events_only();
+    let skip = opts.window.skip;
+
+    let mut mem = MemorySystem::new(Arc::clone(&config), vec![mech])?;
     mem.set_check_values(opts.check_values);
-    workload.initialize(mem.functional_mut());
+
+    let mut stream: InstStream = match store {
+        Some(store) => {
+            let (workload, buffer) = store.trace(benchmark, opts.seed, opts.window.end())?;
+            let mut stream = TraceBuffer::replay(&buffer);
+            let warm = if skip > 0 && warm_replayable {
+                // Fast path when the store has (or now earns) the shared
+                // checkpoint: restore it and replay only the
+                // mechanism-visible events. The key's first requester
+                // gets `None` and warms in full — capture only pays off
+                // once a state is reused.
+                store.warm_state(benchmark, opts.seed, skip, &config)?
+            } else {
+                None
+            };
+            match warm {
+                Some(warm) => {
+                    mem.restore_warm(&warm.checkpoint);
+                    mem.replay_warm_events(&warm.log);
+                    stream.advance_to(skip);
+                }
+                None => {
+                    // Exact path over the shared trace (sidecar
+                    // mechanisms, first requesters, or nothing to skip).
+                    workload.initialize(mem.functional_mut());
+                    warm_loop(&mut mem, &mut stream, skip);
+                }
+            }
+            stream
+        }
+        None => {
+            let workload = Workload::new(profile, opts.seed);
+            workload.initialize(mem.functional_mut());
+            let mut stream = workload.stream();
+            warm_loop(&mut mem, &mut stream, skip);
+            stream
+        }
+    };
+    let start = mem.finish_warmup();
 
     let mut core = OoOCore::new(config.core);
-
-    // The skip region warms caches and mechanism tables functionally (the
-    // paper's long SimPoint traces run in steady state; see
-    // `MemorySystem::warm_inst`), then the window is simulated in detail.
-    let mut stream = workload.stream();
-    for _ in 0..opts.window.skip {
-        let Some(inst) = stream.next() else { break };
-        let mem_ref = inst.mem.map(|m| {
-            (
-                m.addr,
-                if m.is_store {
-                    microlib_model::AccessKind::Store
-                } else {
-                    microlib_model::AccessKind::Load
-                },
-                m.value,
-            )
-        });
-        mem.warm_inst(inst.pc, mem_ref);
-    }
-    let start = mem.finish_warmup();
-    let mut trace = stream.take(opts.window.simulate as usize);
-
+    let mut trace = stream.by_ref().take(opts.window.simulate as usize);
     let budget = opts.cycle_budget() + start.raw();
     let mut now = start;
     loop {
@@ -245,7 +360,7 @@ pub fn run_custom(
     let core_stats = core.stats();
     let (queue_l1, queue_l2) = mem.prefetch_queue_stats();
     Ok(RunResult {
-        benchmark: benchmark.to_owned(),
+        benchmark,
         mechanism,
         perf: PerfSummary {
             instructions: core_stats.committed,
@@ -262,6 +377,16 @@ pub fn run_custom(
         queue_l2,
         hardware,
     })
+}
+
+/// The skip region warms caches and mechanism tables functionally (the
+/// paper's long SimPoint traces run in steady state; see
+/// [`MemorySystem::warm_inst`]) before the window is simulated in detail.
+fn warm_loop(mem: &mut MemorySystem, stream: &mut InstStream, skip: u64) {
+    for _ in 0..skip {
+        let Some(inst) = stream.next() else { break };
+        mem.warm_inst(inst.pc, inst.warm_mem_ref());
+    }
 }
 
 #[cfg(test)]

@@ -2,10 +2,12 @@
 //! (Fig 1), reverse-engineering error measurement (Fig 2) and the DBCP
 //! initial-vs-fixed study (Fig 3).
 
-use crate::simulator::{run_one, RunResult, SimError, SimOptions};
+use crate::artifacts::ArtifactStore;
+use crate::simulator::{run_one, run_one_with, RunResult, SimError, SimOptions};
 use microlib_mech::MechanismKind;
 use microlib_model::{FidelityConfig, MemoryModel, SystemConfig};
 use microlib_trace::TraceWindow;
+use std::sync::Arc;
 
 /// One benchmark's IPC under two cache-model fidelities (Fig 1).
 #[derive(Clone, Debug)]
@@ -39,6 +41,22 @@ pub fn compare_fidelity(
     window: TraceWindow,
     seed: u64,
 ) -> Result<FidelityComparison, SimError> {
+    compare_fidelity_with(&ArtifactStore::disabled(), benchmark, window, seed)
+}
+
+/// [`compare_fidelity`] with shared artifacts: both runs draw the trace
+/// (and, per fidelity configuration, the warm state) from `store`, and
+/// repeated comparisons across a battery are served from its memo.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the underlying runs.
+pub fn compare_fidelity_with(
+    store: &ArtifactStore,
+    benchmark: &str,
+    window: TraceWindow,
+    seed: u64,
+) -> Result<FidelityComparison, SimError> {
     let opts = SimOptions {
         seed,
         window,
@@ -48,9 +66,10 @@ pub fn compare_fidelity(
     detailed_cfg.fidelity = FidelityConfig::microlib();
     let mut idealized_cfg = detailed_cfg.clone();
     idealized_cfg.fidelity = FidelityConfig::simplescalar_like();
+    let (detailed_cfg, idealized_cfg) = (Arc::new(detailed_cfg), Arc::new(idealized_cfg));
 
-    let detailed = run_one(&detailed_cfg, MechanismKind::Base, benchmark, &opts)?;
-    let idealized = run_one(&idealized_cfg, MechanismKind::Base, benchmark, &opts)?;
+    let detailed = run_one_with(store, &detailed_cfg, MechanismKind::Base, benchmark, &opts)?;
+    let idealized = run_one_with(store, &idealized_cfg, MechanismKind::Base, benchmark, &opts)?;
     Ok(FidelityComparison {
         benchmark: benchmark.to_owned(),
         detailed_ipc: detailed.perf.ipc(),
@@ -138,17 +157,41 @@ pub fn article_speedup(
     article_window: TraceWindow,
     seed: u64,
 ) -> Result<f64, SimError> {
-    let cfg = SystemConfig {
+    article_speedup_with(
+        &ArtifactStore::disabled(),
+        mechanism,
+        benchmark,
+        article_window,
+        seed,
+    )
+}
+
+/// [`article_speedup`] with shared artifacts. The Base half of the pair
+/// is mechanism-independent, so across the per-mechanism loops of Fig 2
+/// (and the DBCP study of Fig 3, which uses the same setup) the store's
+/// memo computes it once per benchmark instead of once per mechanism.
+///
+/// # Errors
+///
+/// Any [`SimError`] from the two underlying runs.
+pub fn article_speedup_with(
+    store: &ArtifactStore,
+    mechanism: MechanismKind,
+    benchmark: &str,
+    article_window: TraceWindow,
+    seed: u64,
+) -> Result<f64, SimError> {
+    let cfg = Arc::new(SystemConfig {
         memory: MemoryModel::simplescalar_70(),
         ..SystemConfig::baseline()
-    };
+    });
     let opts = SimOptions {
         seed,
         window: article_window,
         ..SimOptions::default()
     };
-    let base = run_one(&cfg, MechanismKind::Base, benchmark, &opts)?;
-    let with = run_one(&cfg, mechanism, benchmark, &opts)?;
+    let base = run_one_with(store, &cfg, MechanismKind::Base, benchmark, &opts)?;
+    let with = run_one_with(store, &cfg, mechanism, benchmark, &opts)?;
     Ok(with.perf.speedup_over(&base.perf))
 }
 
@@ -184,15 +227,31 @@ pub fn compare_dbcp_variants(
     window: TraceWindow,
     seed: u64,
 ) -> Result<DbcpComparison, SimError> {
-    let cfg = SystemConfig::baseline_constant_memory();
+    compare_dbcp_variants_with(&ArtifactStore::disabled(), benchmark, window, seed)
+}
+
+/// [`compare_dbcp_variants`] with shared artifacts: the three runs share
+/// one trace and warm state, and the Base run is memo-shared with any
+/// other experiment using the same setup.
+///
+/// # Errors
+///
+/// Propagates any [`SimError`] from the three underlying runs.
+pub fn compare_dbcp_variants_with(
+    store: &ArtifactStore,
+    benchmark: &str,
+    window: TraceWindow,
+    seed: u64,
+) -> Result<DbcpComparison, SimError> {
+    let cfg = Arc::new(SystemConfig::baseline_constant_memory());
     let opts = SimOptions {
         seed,
         window,
         ..SimOptions::default()
     };
-    let base = run_one(&cfg, MechanismKind::Base, benchmark, &opts)?;
-    let initial = run_one(&cfg, MechanismKind::DbcpInitial, benchmark, &opts)?;
-    let fixed = run_one(&cfg, MechanismKind::Dbcp, benchmark, &opts)?;
+    let base = run_one_with(store, &cfg, MechanismKind::Base, benchmark, &opts)?;
+    let initial = run_one_with(store, &cfg, MechanismKind::DbcpInitial, benchmark, &opts)?;
+    let fixed = run_one_with(store, &cfg, MechanismKind::Dbcp, benchmark, &opts)?;
     Ok(DbcpComparison {
         benchmark: benchmark.to_owned(),
         initial: initial.perf.speedup_over(&base.perf),

@@ -12,7 +12,7 @@ use crate::fu::{latency, FuPool};
 use microlib_mem::{Completion, IssueRejection, IssueResult, MemorySystem, ReqId};
 use microlib_model::{Addr, CoreConfig, Cycle};
 use microlib_trace::{OpClass, TraceInst};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 enum SlotState {
@@ -33,6 +33,9 @@ struct Slot {
     state: SlotState,
     /// For stores: the commit-time cache write has been accepted.
     store_sent: bool,
+    /// Producers this instruction still waits on (0, 1 or 2); maintained
+    /// by the wakeup network, `issue` only ever sees slots at 0.
+    pending_deps: u8,
 }
 
 impl Slot {
@@ -95,6 +98,22 @@ pub struct OoOCore {
     ifetch_pending: Option<ReqId>,
     last_fetch_line: Option<Addr>,
     mem_requests: HashMap<ReqId, u64>,
+    /// In-window stores indexed by word address, seqs ascending — the
+    /// LSQ disambiguation lookup is O(log stores-per-word) instead of a
+    /// scan over every older window slot per waiting load per cycle.
+    store_index: HashMap<u64, VecDeque<u64>>,
+    /// Slots currently in `Executing` state (writeback skips its window
+    /// scan when none are).
+    executing: u32,
+    /// Sequence numbers of slots that are `Waiting` with all producers
+    /// complete — the issue stage walks exactly this set in program
+    /// order instead of rescanning the whole window every cycle.
+    ready: BTreeSet<u64>,
+    /// Wakeup network: producer seq → consumers to notify when it
+    /// completes (a consumer appears once per dependent operand).
+    wakeups: HashMap<u64, Vec<u64>>,
+    /// Scratch buffer for the issue stage's ready snapshot.
+    ready_scratch: Vec<u64>,
     fus: FuPool,
     stats: CoreStats,
     trace_done: bool,
@@ -120,6 +139,11 @@ impl OoOCore {
             ifetch_pending: None,
             last_fetch_line: None,
             mem_requests: HashMap::new(),
+            store_index: HashMap::new(),
+            executing: 0,
+            ready: BTreeSet::new(),
+            wakeups: HashMap::new(),
+            ready_scratch: Vec::new(),
             stats: CoreStats::default(),
             trace_done: false,
         }
@@ -140,6 +164,7 @@ impl OoOCore {
         self.window.front().map(|s| s.seq).unwrap_or(self.next_seq)
     }
 
+    #[cfg(debug_assertions)]
     fn producer_ready(&self, consumer_seq: u64, distance: u32) -> bool {
         let Some(producer_seq) = consumer_seq.checked_sub(distance as u64) else {
             return true;
@@ -154,6 +179,9 @@ impl OoOCore {
             .unwrap_or(true)
     }
 
+    /// Reference dependency check (scan form) — the wakeup network must
+    /// always agree with it; debug builds assert so on every issue.
+    #[cfg(debug_assertions)]
     fn deps_ready(&self, slot_idx: usize) -> bool {
         let slot = &self.window[slot_idx];
         slot.inst
@@ -163,17 +191,34 @@ impl OoOCore {
             .all(|d| self.producer_ready(slot.seq, *d))
     }
 
-    /// Index of the youngest older store overlapping `addr`'s word, if any.
+    /// Notifies `producer_seq`'s registered consumers that it completed;
+    /// consumers whose last outstanding producer this was become ready.
+    fn wake_dependents(&mut self, producer_seq: u64) {
+        let Some(consumers) = self.wakeups.remove(&producer_seq) else {
+            return;
+        };
+        let base = self.seq_base();
+        for c in consumers {
+            debug_assert!(c >= base, "a waiting consumer cannot have committed");
+            let Some(slot) = self.window.get_mut((c - base) as usize) else {
+                continue;
+            };
+            slot.pending_deps -= 1;
+            if slot.pending_deps == 0 && slot.state == SlotState::Waiting {
+                self.ready.insert(c);
+            }
+        }
+    }
+
+    /// Index of the youngest older store overlapping `addr`'s word, if
+    /// any. Served from `store_index`: window seqs are contiguous, so the
+    /// youngest store seq below the load's seq maps straight to a slot.
     fn older_store_conflict(&self, load_idx: usize, addr: Addr) -> Option<usize> {
-        let word = addr.word_index();
-        (0..load_idx).rev().find(|&i| {
-            let s = &self.window[i];
-            s.inst.op == OpClass::Store
-                && s.inst
-                    .mem
-                    .map(|m| m.addr.word_index() == word)
-                    .unwrap_or(false)
-        })
+        let load_seq = self.window[load_idx].seq;
+        let stores = self.store_index.get(&addr.word_index())?;
+        let older = stores.partition_point(|&s| s < load_seq);
+        let store_seq = *stores.get(older.checked_sub(1)?)?;
+        Some((store_seq - self.seq_base()) as usize)
     }
 
     /// Runs one cycle. `completions` are this cycle's memory completions
@@ -210,6 +255,7 @@ impl OoOCore {
             if let Some(slot) = self.window.get_mut((seq - base) as usize) {
                 if slot.state == SlotState::WaitingMem {
                     slot.state = SlotState::Completed(now);
+                    self.wake_dependents(seq);
                 }
             }
         }
@@ -221,16 +267,25 @@ impl OoOCore {
     }
 
     fn writeback(&mut self, now: Cycle) {
+        if self.executing == 0 {
+            return;
+        }
         let mut resolved_mispredict = None;
+        let mut completed: Vec<u64> = Vec::new();
         for slot in &mut self.window {
             if let SlotState::Executing(done) = slot.state {
                 if done <= now {
                     slot.state = SlotState::Completed(now);
+                    self.executing -= 1;
+                    completed.push(slot.seq);
                     if Some(slot.seq) == self.blocking_branch {
                         resolved_mispredict = Some(now);
                     }
                 }
             }
+        }
+        for seq in completed {
+            self.wake_dependents(seq);
         }
         if let Some(at) = resolved_mispredict {
             self.blocking_branch = None;
@@ -261,6 +316,19 @@ impl OoOCore {
                 }
             }
             let head = self.window.pop_front().expect("checked above");
+            if head.inst.op == OpClass::Store {
+                let m = head.inst.mem.expect("store has memory ref");
+                let word = m.addr.word_index();
+                let stores = self
+                    .store_index
+                    .get_mut(&word)
+                    .expect("indexed at dispatch");
+                let popped = stores.pop_front();
+                debug_assert_eq!(popped, Some(head.seq), "oldest store commits first");
+                if stores.is_empty() {
+                    self.store_index.remove(&word);
+                }
+            }
             if head.inst.op.is_mem() {
                 self.lsq_used -= 1;
             }
@@ -274,15 +342,23 @@ impl OoOCore {
         let mut issued = 0;
         let mut mem_path_blocked = false;
         let lsq_backpressure = mem.config().fidelity.lsq_backpressure;
-        for idx in 0..self.window.len() {
+        let base = self.seq_base();
+        // Snapshot the ready set (ascending seq = program order, exactly
+        // the order the historical full-window scan visited issuable
+        // slots). Issue only removes entries, never adds: nothing
+        // completes mid-issue, so no slot can become ready here.
+        let mut ready = std::mem::take(&mut self.ready_scratch);
+        ready.clear();
+        ready.extend(self.ready.iter().copied());
+        for seq in &ready {
             if issued >= self.config.issue_width {
                 break;
             }
-            if self.window[idx].state != SlotState::Waiting {
-                continue;
-            }
-            if !self.deps_ready(idx) {
-                continue;
+            let idx = (seq - base) as usize;
+            #[cfg(debug_assertions)]
+            {
+                debug_assert_eq!(self.window[idx].state, SlotState::Waiting);
+                debug_assert!(self.deps_ready(idx), "ready set out of sync with deps");
             }
             let op = self.window[idx].inst.op;
             match op {
@@ -296,6 +372,8 @@ impl OoOCore {
                     if let Some(st) = self.older_store_conflict(idx, m.addr) {
                         if self.window[st].completed() && self.fus.try_issue(OpClass::Load, now) {
                             self.window[idx].state = SlotState::Executing(now + 1);
+                            self.executing += 1;
+                            self.ready.remove(seq);
                             self.stats.loads_forwarded += 1;
                             issued += 1;
                         }
@@ -308,11 +386,14 @@ impl OoOCore {
                     match mem.try_load(pc, m.addr, now) {
                         Ok(IssueResult::Done { at, .. }) => {
                             self.window[idx].state = SlotState::Executing(at);
+                            self.executing += 1;
+                            self.ready.remove(seq);
                             issued += 1;
                         }
                         Ok(IssueResult::Pending(req)) => {
                             self.window[idx].state = SlotState::WaitingMem;
                             self.mem_requests.insert(req, self.window[idx].seq);
+                            self.ready.remove(seq);
                             issued += 1;
                         }
                         Err(reason) => {
@@ -328,17 +409,22 @@ impl OoOCore {
                     // commit.
                     if self.fus.try_issue(OpClass::Store, now) {
                         self.window[idx].state = SlotState::Executing(now + latency(op));
+                        self.executing += 1;
+                        self.ready.remove(seq);
                         issued += 1;
                     }
                 }
                 _ => {
                     if self.fus.try_issue(op, now) {
                         self.window[idx].state = SlotState::Executing(now + latency(op));
+                        self.executing += 1;
+                        self.ready.remove(seq);
                         issued += 1;
                     }
                 }
             }
         }
+        self.ready_scratch = ready;
     }
 
     fn dispatch(&mut self) {
@@ -358,11 +444,40 @@ impl OoOCore {
                 self.lsq_used += 1;
             }
             let inst = self.fetch_buffer.pop_front().expect("peeked");
+            if inst.op == OpClass::Store {
+                let m = inst.mem.expect("store has memory ref");
+                self.store_index
+                    .entry(m.addr.word_index())
+                    .or_default()
+                    .push_back(self.next_seq);
+            }
+            let seq = self.next_seq;
+            let base = self.seq_base();
+            let mut pending = 0u8;
+            for d in inst.src_deps.iter().flatten() {
+                // No producer (distance reaches before the trace) or an
+                // already-committed/completed one: nothing to wait for.
+                let Some(p) = seq.checked_sub(*d as u64) else {
+                    continue;
+                };
+                if p < base {
+                    continue;
+                }
+                if self.window[(p - base) as usize].completed() {
+                    continue;
+                }
+                pending += 1;
+                self.wakeups.entry(p).or_default().push(seq);
+            }
+            if pending == 0 {
+                self.ready.insert(seq);
+            }
             self.window.push_back(Slot {
                 inst,
-                seq: self.next_seq,
+                seq,
                 state: SlotState::Waiting,
                 store_sent: false,
+                pending_deps: pending,
             });
             self.next_seq += 1;
         }

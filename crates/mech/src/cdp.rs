@@ -88,6 +88,11 @@ impl Mechanism for ContentDirectedPrefetcher {
         AttachPoint::L2Unified
     }
 
+    fn warm_events_only(&self) -> bool {
+        // pure prefetcher: no sidecar, no captures, no spills.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         128 // Table 3: CDP request queue
     }

@@ -68,6 +68,11 @@ impl Mechanism for CdpSp {
         AttachPoint::L2Unified
     }
 
+    fn warm_events_only(&self) -> bool {
+        // combines two pure prefetchers: no sidecar, no captures, no spills.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         129 // Table 3: SP/CDP request queues of 1 / 128
     }

@@ -134,6 +134,11 @@ impl Mechanism for DeadBlockPrefetcher {
         AttachPoint::L1Data
     }
 
+    fn warm_events_only(&self) -> bool {
+        // eviction observer + prefetcher: never captures or spills.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         128 // Table 3: DBCP request queue
     }

@@ -112,6 +112,11 @@ impl Mechanism for GlobalHistoryBuffer {
         AttachPoint::L2Unified
     }
 
+    fn warm_events_only(&self) -> bool {
+        // pure prefetcher: no sidecar, no captures, no spills.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         4 // Table 3: GHB request queue
     }

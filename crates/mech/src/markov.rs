@@ -90,6 +90,13 @@ impl Mechanism for MarkovPrefetcher {
         AttachPoint::L1Data
     }
 
+    fn warm_events_only(&self) -> bool {
+        // the prefetch buffer only fills from prefetch-cause refills,
+        // which never occur during functional warmup — warm probes always
+        // miss.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         16 // Table 3: Markov request queue size 16
     }

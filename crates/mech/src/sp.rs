@@ -80,6 +80,11 @@ impl Mechanism for StridePrefetcher {
         AttachPoint::L2Unified
     }
 
+    fn warm_events_only(&self) -> bool {
+        // pure prefetcher: no sidecar, no captures, no spills.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         1 // Table 3: Stride Prefetching, request queue size 1
     }

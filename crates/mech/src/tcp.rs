@@ -95,6 +95,11 @@ impl Mechanism for TagCorrelatingPrefetcher {
         AttachPoint::L2Unified
     }
 
+    fn warm_events_only(&self) -> bool {
+        // pure prefetcher: no sidecar, no captures, no spills.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         self.queue_capacity
     }

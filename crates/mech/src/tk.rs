@@ -87,6 +87,11 @@ impl Mechanism for TimekeepingPrefetcher {
         AttachPoint::L1Data
     }
 
+    fn warm_events_only(&self) -> bool {
+        // eviction observer + prefetcher: never captures or spills.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         128 // Table 3: Timekeeping prefetcher request queue
     }
@@ -183,6 +188,11 @@ impl Mechanism for TimekeepingPrefetcher {
                 dead_lines.push(*line);
             }
         }
+        // The residency map iterates in hash order, which varies from
+        // process to process; predictions must enqueue in a reproducible
+        // order or the whole simulation stops being run-to-run
+        // deterministic.
+        dead_lines.sort_unstable();
         for line in dead_lines {
             self.stats.table_reads += 1;
             if let Some(c) = self.correlation.peek(&line).copied() {

@@ -48,6 +48,11 @@ impl Mechanism for TaggedPrefetcher {
         AttachPoint::L2Unified
     }
 
+    fn warm_events_only(&self) -> bool {
+        // pure prefetcher: no sidecar, no captures, no spills.
+        true
+    }
+
     fn request_queue_capacity(&self) -> usize {
         16 // Table 3: Tagged Prefetching, request queue size 16
     }

@@ -23,6 +23,7 @@ use crate::cache::{CacheArray, Victim};
 use crate::functional::{FunctionalMemory, IntegrityError};
 use crate::mshr::{MshrFile, MshrOutcome, MshrTarget};
 use crate::sdram::{MainMemory, MemToken};
+use crate::warmup::{WarmCheckpoint, WarmEvent, WarmLog};
 use microlib_model::{
     AccessEvent, AccessKind, AccessOutcome, Addr, AttachPoint, CacheStats, ConfigError, Cycle,
     EvictEvent, FidelityConfig, LineData, Mechanism, MechanismStats, MemoryStats,
@@ -30,6 +31,7 @@ use microlib_model::{
     VictimAction,
 };
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Identifies an outstanding CPU-visible request (load, store or ifetch).
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Debug)]
@@ -237,7 +239,7 @@ impl MechSlot {
 /// # Ok::<(), microlib_model::ConfigError>(())
 /// ```
 pub struct MemorySystem {
-    config: SystemConfig,
+    config: Arc<SystemConfig>,
     functional: FunctionalMemory,
     l1d: CacheUnit,
     l1i: CacheUnit,
@@ -290,16 +292,19 @@ impl std::fmt::Debug for MemorySystem {
 
 impl MemorySystem {
     /// Builds the hierarchy for `config` with the given mechanisms attached
-    /// (at most one per attach point).
+    /// (at most one per attach point). `config` is taken as (or into) an
+    /// [`Arc`], so sweeps that run thousands of cells against one
+    /// configuration share it instead of deep-cloning it per run.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigError`] if `config` is inconsistent or two
     /// mechanisms request the same attach point.
     pub fn new(
-        config: SystemConfig,
+        config: impl Into<Arc<SystemConfig>>,
         mechanisms: Vec<Box<dyn Mechanism>>,
     ) -> Result<Self, ConfigError> {
+        let config: Arc<SystemConfig> = config.into();
         config.validate()?;
         let mut l1_mech = None;
         let mut l2_mech = None;
@@ -606,9 +611,10 @@ impl MemorySystem {
         }
         let line = addr.line(self.config.l1d.line_bytes);
 
-        // Peek first so rejections (MSHR stalls) do not perturb LRU state.
-        let is_hit = self.l1d.array.peek(addr);
-        if !is_hit {
+        // One set search decides hit/miss; `lookup` only mutates LRU state
+        // on a hit, so rejections below never perturb it.
+        let hit_info = self.l1d.array.lookup(addr);
+        if hit_info.is_none() {
             // Same-line, different-address miss pair in one cycle stalls
             // the pipelined cache (paper §2.2).
             if fidelity.pipeline_stalls && self.l1d.miss_lines_this_cycle.contains(&line.raw()) {
@@ -618,10 +624,9 @@ impl MemorySystem {
             }
         }
 
-        if is_hit {
+        if let Some(hit) = hit_info {
             self.l1d.take_port();
             self.trace_event(line, &format!("L1 {kind} hit at {:#x}", addr.raw()));
-            let hit = self.l1d.array.lookup(addr).expect("peeked hit");
             match kind {
                 AccessKind::Load => {
                     let value = self.l1d.array.read_word(addr).expect("hit line has data");
@@ -1100,6 +1105,145 @@ impl MemorySystem {
             slot.queue.clear();
         }
         Cycle::new(self.warm_clock)
+    }
+
+    // ------------------------------------------------------------------
+    // Warm-state checkpointing (see `crate::warmup`): snapshot the
+    // mechanism-independent warm state once, restore it per run, replay
+    // only the mechanism-visible events.
+    // ------------------------------------------------------------------
+
+    /// Snapshots everything the warm phase mutates outside the mechanism
+    /// slots: functional memory, cache arrays, raw cache counters and the
+    /// warm clock. Call at the end of a warm phase, before
+    /// [`finish_warmup`](MemorySystem::finish_warmup).
+    pub fn snapshot_warm(&self) -> WarmCheckpoint {
+        WarmCheckpoint {
+            functional: self.functional.clone(),
+            l1d: self.l1d.array.clone(),
+            l1i: self.l1i.array.clone(),
+            l2: self.l2.array.clone(),
+            l1d_stats: self.l1d.stats,
+            l1i_stats: self.l1i.stats,
+            l2_stats: self.l2.stats,
+            warm_clock: self.warm_clock,
+        }
+    }
+
+    /// Restores a [`WarmCheckpoint`] into this (freshly built) system, as
+    /// if every warm instruction had just been replayed through
+    /// [`warm_inst`](MemorySystem::warm_inst) with a mechanism that never
+    /// touches cache contents. Mechanism tables are *not* part of the
+    /// checkpoint; warm them with
+    /// [`replay_warm_events`](MemorySystem::replay_warm_events).
+    pub fn restore_warm(&mut self, checkpoint: &WarmCheckpoint) {
+        self.functional = checkpoint.functional.clone();
+        self.l1d.array = checkpoint.l1d.clone();
+        self.l1i.array = checkpoint.l1i.clone();
+        self.l2.array = checkpoint.l2.clone();
+        self.l1d.stats = checkpoint.l1d_stats;
+        self.l1i.stats = checkpoint.l1i_stats;
+        self.l2.stats = checkpoint.l2_stats;
+        self.warm_clock = checkpoint.warm_clock;
+        self.now = Cycle::new(self.warm_clock);
+    }
+
+    /// Replays a recorded warm event stream into the attached mechanisms,
+    /// reproducing exactly the hook sequence a full warm phase would have
+    /// fired at their slots. Only valid for mechanisms that opt in via
+    /// [`warm_events_only`](microlib_model::Mechanism::warm_events_only)
+    /// — the replay assumes probes miss, victims are dropped and no
+    /// spills occur, which is those mechanisms' contract.
+    pub fn replay_warm_events(&mut self, log: &WarmLog) {
+        self.warming = true;
+        // Tick boundaries are synthesized, not stored: warm instruction
+        // `i` (1-based) runs at clock `2 * i`, fires its events, then each
+        // slot ticks and has its prefetch queue cleared — exactly
+        // `warm_inst`'s order.
+        let mut events = log.events().iter().peekable();
+        for i in 1..=log.insts() {
+            let now = Cycle::new(2 * i);
+            while let Some(ev) = events.peek() {
+                if self.warm_event_clock(ev) > now {
+                    break;
+                }
+                self.replay_one_warm_event(ev);
+                events.next();
+            }
+            self.replay_warm_tick(AttachPoint::L1Data, now);
+            self.replay_warm_tick(AttachPoint::L2Unified, now);
+        }
+        debug_assert!(events.peek().is_none(), "warm events beyond the last tick");
+        self.warming = false;
+    }
+
+    fn warm_event_clock(&self, ev: &WarmEvent) -> Cycle {
+        match ev {
+            WarmEvent::Probe { now, .. } => *now,
+            WarmEvent::Access { event, .. } => event.now,
+            WarmEvent::Evict { event } => event.now,
+            WarmEvent::Refill { event, .. } => event.now,
+        }
+    }
+
+    fn replay_one_warm_event(&mut self, ev: &WarmEvent) {
+        match ev {
+            WarmEvent::Probe { line, now } => {
+                if let Some(slot) = &mut self.l1_mech {
+                    let hit = slot.mech.probe(*line, *now);
+                    debug_assert!(
+                        hit.is_none(),
+                        "{}: probe serviced during warm replay, but the mechanism \
+                         claims warm_events_only",
+                        slot.mech.name()
+                    );
+                }
+            }
+            WarmEvent::Access { at, event } => {
+                if let Some(slot) = self.slot_mut(*at) {
+                    slot.mech.on_access(event, &mut slot.queue);
+                }
+            }
+            WarmEvent::Evict { event } => {
+                if let Some(slot) = &mut self.l1_mech {
+                    let action = slot.mech.on_evict(event);
+                    debug_assert_eq!(
+                        action,
+                        VictimAction::Dropped,
+                        "{}: victim captured during warm replay, but the mechanism \
+                         claims warm_events_only",
+                        slot.mech.name()
+                    );
+                }
+            }
+            WarmEvent::Refill { at, event } => {
+                if let Some(slot) = self.slot_mut(*at) {
+                    slot.mech.on_refill(event, &mut slot.queue);
+                }
+            }
+        }
+    }
+
+    fn replay_warm_tick(&mut self, at: AttachPoint, now: Cycle) {
+        if let Some(slot) = self.slot_mut(at) {
+            slot.mech.tick(now);
+            slot.queue.clear();
+            // `warm_events_only` mechanisms never spill; a violation is a
+            // contract bug (asserted here), and in release the dropped
+            // dirty data trips the value-integrity checker downstream
+            // rather than being silently applied at synthesized clocks.
+            debug_assert!(
+                slot.mech.drain_spills().is_empty(),
+                "spills during warm replay contradict warm_events_only"
+            );
+        }
+    }
+
+    fn slot_mut(&mut self, at: AttachPoint) -> Option<&mut MechSlot> {
+        match at {
+            AttachPoint::L1Data => self.l1_mech.as_mut(),
+            AttachPoint::L2Unified => self.l2_mech.as_mut(),
+        }
     }
 
     // ------------------------------------------------------------------

@@ -36,6 +36,7 @@ mod functional;
 mod hierarchy;
 mod mshr;
 mod sdram;
+mod warmup;
 
 pub use bus::{Bus, BusStats};
 pub use cache::{CacheArray, HitInfo, LineState, Victim};
@@ -43,3 +44,4 @@ pub use functional::{FunctionalMemory, IntegrityError, SparseMemory};
 pub use hierarchy::{Completion, IssueRejection, IssueResult, MemorySystem, ReqId};
 pub use mshr::{MshrEntry, MshrFile, MshrOutcome, MshrStats, MshrTarget};
 pub use sdram::{ConstantMemory, MainMemory, MemDone, MemToken, Sdram};
+pub use warmup::{capture_warm_state, WarmCheckpoint, WarmEvent, WarmLog, WarmState};

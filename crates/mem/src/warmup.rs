@@ -1,0 +1,318 @@
+//! Warm-state checkpointing: compute the mechanism-independent part of a
+//! trace window's functional warmup once, then share it across runs.
+//!
+//! A simulation's skip phase replays the skipped instructions through the
+//! *storage* model ([`MemorySystem::warm_inst`]) to put caches, the
+//! functional memory and mechanism tables into steady state. For a
+//! (benchmark × mechanism) sweep that work splits cleanly in two:
+//!
+//! - a **benchmark × configuration** part — the memory image, the cache
+//!   arrays and their counters — which is identical for every mechanism
+//!   that does not perturb cache contents during warmup, captured here as
+//!   a [`WarmCheckpoint`]; and
+//! - a **mechanism** part — table updates driven by the access / evict /
+//!   refill event stream the warm phase fires — captured as a [`WarmLog`]
+//!   and replayed per mechanism by
+//!   [`MemorySystem::replay_warm_events`].
+//!
+//! A mechanism opts into the split by returning `true` from
+//! [`Mechanism::warm_events_only`]; the contract is that during warmup it
+//! never services a probe, captures a victim or spills dirty data (pure
+//! prefetchers and eviction observers qualify; sidecar stores such as
+//! victim caches do not and keep the exact full warm path).
+//!
+//! [`Mechanism::warm_events_only`]: microlib_model::Mechanism::warm_events_only
+
+use crate::cache::CacheArray;
+use crate::functional::FunctionalMemory;
+use crate::hierarchy::MemorySystem;
+use microlib_model::{
+    AccessEvent, AccessKind, Addr, AttachPoint, CacheStats, ConfigError, Cycle, EvictEvent,
+    HardwareBudget, Mechanism, PrefetchQueue, ProbeResult, RefillEvent, SystemConfig, VictimAction,
+};
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+
+/// Snapshot of everything [`MemorySystem::warm_inst`] mutates that does
+/// not belong to a mechanism: the functional memory images, the three
+/// cache arrays, their raw counters and the synthetic warm clock.
+///
+/// Captured by [`MemorySystem::snapshot_warm`] (or the
+/// [`capture_warm_state`] convenience) and restored into a fresh system by
+/// [`MemorySystem::restore_warm`].
+#[derive(Clone, Debug)]
+pub struct WarmCheckpoint {
+    pub(crate) functional: FunctionalMemory,
+    pub(crate) l1d: CacheArray,
+    pub(crate) l1i: CacheArray,
+    pub(crate) l2: CacheArray,
+    pub(crate) l1d_stats: CacheStats,
+    pub(crate) l1i_stats: CacheStats,
+    pub(crate) l2_stats: CacheStats,
+    pub(crate) warm_clock: u64,
+}
+
+impl WarmCheckpoint {
+    /// The synthetic clock value at the end of the warm phase (the cycle
+    /// detailed simulation starts at).
+    pub fn warm_clock(&self) -> u64 {
+        self.warm_clock
+    }
+}
+
+/// One mechanism-visible event recorded during the warm phase, tagged with
+/// the attach point whose slot fired it.
+#[derive(Clone, Debug)]
+pub enum WarmEvent {
+    /// A sidecar probe on an L1 miss (which found nothing — recorders hold
+    /// no lines).
+    Probe {
+        /// Missing L1 line.
+        line: Addr,
+        /// Warm clock at the probe.
+        now: Cycle,
+    },
+    /// A demand access event.
+    Access {
+        /// Slot that observed it.
+        at: AttachPoint,
+        /// The event as the mechanism would have seen it.
+        event: AccessEvent,
+    },
+    /// An L1 victim offered to the mechanism.
+    Evict {
+        /// The eviction as the mechanism would have seen it.
+        event: EvictEvent,
+    },
+    /// A line fill carrying data.
+    Refill {
+        /// Slot that observed it.
+        at: AttachPoint,
+        /// The event as the mechanism would have seen it.
+        event: RefillEvent,
+    },
+}
+
+/// The ordered mechanism-visible event stream of one warm phase.
+///
+/// Per-instruction tick boundaries are *not* recorded: the warm clock is
+/// strictly `2 × instruction index`, so replay synthesizes the tick (and
+/// queue-clear) sequence instead of paying to store ~2 events per warmed
+/// instruction.
+#[derive(Clone, Debug, Default)]
+pub struct WarmLog {
+    pub(crate) events: Vec<WarmEvent>,
+    pub(crate) insts: u64,
+}
+
+impl WarmLog {
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the warm phase fired no mechanism-visible events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The recorded events in firing order.
+    pub fn events(&self) -> &[WarmEvent] {
+        &self.events
+    }
+
+    /// Number of instructions the warm phase replayed.
+    pub fn insts(&self) -> u64 {
+        self.insts
+    }
+}
+
+/// A reusable warm artifact: the shared checkpoint plus the event log that
+/// warms a mechanism's tables on top of it.
+#[derive(Clone, Debug)]
+pub struct WarmState {
+    /// Mechanism-independent warm state.
+    pub checkpoint: WarmCheckpoint,
+    /// Mechanism-visible event stream of the same warm phase.
+    pub log: WarmLog,
+}
+
+/// A passive [`Mechanism`] that records every hook invocation into a
+/// shared log. Attached at both slots while capturing a warm state, it
+/// observes exactly what a real passive mechanism would — and, because it
+/// never probes successfully, captures or spills, leaves the cache state
+/// identical to a run with no mechanism at all.
+struct WarmRecorder {
+    at: AttachPoint,
+    log: Rc<RefCell<Vec<WarmEvent>>>,
+}
+
+impl Mechanism for WarmRecorder {
+    fn name(&self) -> &str {
+        "warm-recorder"
+    }
+
+    fn attach_point(&self) -> AttachPoint {
+        self.at
+    }
+
+    fn on_access(&mut self, event: &AccessEvent, _prefetch: &mut PrefetchQueue) {
+        self.log.borrow_mut().push(WarmEvent::Access {
+            at: self.at,
+            event: *event,
+        });
+    }
+
+    fn on_evict(&mut self, event: &EvictEvent) -> VictimAction {
+        debug_assert_eq!(self.at, AttachPoint::L1Data, "only L1 victims are offered");
+        self.log
+            .borrow_mut()
+            .push(WarmEvent::Evict { event: *event });
+        VictimAction::Dropped
+    }
+
+    fn on_refill(&mut self, event: &RefillEvent, _prefetch: &mut PrefetchQueue) {
+        self.log.borrow_mut().push(WarmEvent::Refill {
+            at: self.at,
+            event: *event,
+        });
+    }
+
+    fn probe(&mut self, line: Addr, now: Cycle) -> Option<ProbeResult> {
+        debug_assert_eq!(self.at, AttachPoint::L1Data, "only the L1 slot is probed");
+        self.log.borrow_mut().push(WarmEvent::Probe { line, now });
+        None
+    }
+
+    fn hardware(&self) -> HardwareBudget {
+        HardwareBudget::none("warm-recorder")
+    }
+}
+
+/// Runs a full warm phase with recorders attached and returns the
+/// checkpoint + event log pair.
+///
+/// `init` seeds the functional memory (the workload's initial image);
+/// `insts` supplies the warm instructions as `(pc, mem_ref)` pairs in the
+/// shape [`MemorySystem::warm_inst`] consumes.
+///
+/// # Errors
+///
+/// Returns a [`ConfigError`] if `config` is invalid.
+pub fn capture_warm_state(
+    config: impl Into<Arc<SystemConfig>>,
+    init: impl FnOnce(&mut FunctionalMemory),
+    insts: impl Iterator<Item = (Addr, Option<(Addr, AccessKind, u64)>)>,
+) -> Result<WarmState, ConfigError> {
+    let log = Rc::new(RefCell::new(Vec::new()));
+    let recorders: Vec<Box<dyn Mechanism>> = vec![
+        Box::new(WarmRecorder {
+            at: AttachPoint::L1Data,
+            log: Rc::clone(&log),
+        }),
+        Box::new(WarmRecorder {
+            at: AttachPoint::L2Unified,
+            log: Rc::clone(&log),
+        }),
+    ];
+    let mut mem = MemorySystem::new(config, recorders)?;
+    init(mem.functional_mut());
+    let mut count = 0u64;
+    for (pc, mem_ref) in insts {
+        mem.warm_inst(pc, mem_ref);
+        count += 1;
+    }
+    let checkpoint = mem.snapshot_warm();
+    drop(mem);
+    let events = Rc::try_unwrap(log)
+        .expect("recorders dropped with the memory system")
+        .into_inner();
+    Ok(WarmState {
+        checkpoint,
+        log: WarmLog {
+            events,
+            insts: count,
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microlib_model::BaseMechanism;
+
+    fn warm_trace(n: u64) -> impl Iterator<Item = (Addr, Option<(Addr, AccessKind, u64)>)> {
+        (0..n).map(|i| {
+            let pc = Addr::new(0x40_0000 + (i % 64) * 4);
+            let mem_ref = (i % 3 == 0).then(|| {
+                let addr = Addr::new(0x1000 + (i % 512) * 8);
+                if i % 6 == 0 {
+                    (addr, AccessKind::Store, i)
+                } else {
+                    (addr, AccessKind::Load, 0)
+                }
+            });
+            (pc, mem_ref)
+        })
+    }
+
+    #[test]
+    fn capture_matches_direct_warm() {
+        let cfg = SystemConfig::baseline_constant_memory();
+        let state = capture_warm_state(cfg.clone(), |_| {}, warm_trace(2_000)).unwrap();
+
+        // A system warmed directly (no mechanism) must agree with the
+        // checkpoint on stats and clock.
+        let mut direct = MemorySystem::new(cfg, Vec::new()).unwrap();
+        for (pc, mem_ref) in warm_trace(2_000) {
+            direct.warm_inst(pc, mem_ref);
+        }
+        let direct_ckpt = direct.snapshot_warm();
+        assert_eq!(state.checkpoint.l1d_stats, direct_ckpt.l1d_stats);
+        assert_eq!(state.checkpoint.l1i_stats, direct_ckpt.l1i_stats);
+        assert_eq!(state.checkpoint.l2_stats, direct_ckpt.l2_stats);
+        assert_eq!(state.checkpoint.warm_clock(), direct_ckpt.warm_clock());
+        assert!(!state.log.is_empty());
+    }
+
+    #[test]
+    fn restore_reproduces_warm_state() {
+        let cfg = SystemConfig::baseline_constant_memory();
+        let state = capture_warm_state(cfg.clone(), |_| {}, warm_trace(1_500)).unwrap();
+
+        let mech: Box<dyn Mechanism> = Box::new(BaseMechanism::new());
+        let mut mem = MemorySystem::new(cfg, vec![mech]).unwrap();
+        mem.restore_warm(&state.checkpoint);
+        mem.replay_warm_events(&state.log);
+        let roundtrip = mem.snapshot_warm();
+        assert_eq!(roundtrip.l1d_stats, state.checkpoint.l1d_stats);
+        assert_eq!(roundtrip.warm_clock(), state.checkpoint.warm_clock());
+        let start = mem.finish_warmup();
+        assert_eq!(start.raw(), state.checkpoint.warm_clock());
+        // Post-warmup counters start clean.
+        assert_eq!(mem.l1d_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn log_counts_instructions_and_orders_events() {
+        let cfg = SystemConfig::baseline_constant_memory();
+        let state = capture_warm_state(cfg, |_| {}, warm_trace(500)).unwrap();
+        assert_eq!(state.log.insts(), 500);
+        assert_eq!(state.checkpoint.warm_clock(), 1_000, "2 cycles per inst");
+        // Events carry strictly nondecreasing clocks (replay relies on it
+        // to synthesize tick boundaries).
+        let mut last = 0u64;
+        for ev in state.log.events() {
+            let now = match ev {
+                WarmEvent::Probe { now, .. } => now.raw(),
+                WarmEvent::Access { event, .. } => event.now.raw(),
+                WarmEvent::Evict { event } => event.now.raw(),
+                WarmEvent::Refill { event, .. } => event.now.raw(),
+            };
+            assert!(now >= last, "event clock went backwards");
+            last = now;
+        }
+        assert!(!state.log.is_empty());
+    }
+}

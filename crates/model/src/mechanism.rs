@@ -118,6 +118,27 @@ pub trait Mechanism {
         Vec::new()
     }
 
+    /// Whether this mechanism's functional-warmup effects are fully
+    /// described by the event stream the warm phase fires (accesses,
+    /// evictions, refills, probes, ticks).
+    ///
+    /// Returning `true` lets the simulator restore a shared
+    /// mechanism-independent warm checkpoint and replay only the recorded
+    /// events into this mechanism, instead of re-running the whole warm
+    /// phase per (benchmark × mechanism) cell. A mechanism may opt in
+    /// **only if** during warmup it never returns `Some` from
+    /// [`probe`](Mechanism::probe), never returns
+    /// [`VictimAction::Captured`] from [`on_evict`](Mechanism::on_evict)
+    /// and never reports spills — i.e. it observes the warm phase without
+    /// perturbing cache or memory contents. Pure prefetchers and eviction
+    /// observers qualify; sidecar stores (victim caches and kin) do not.
+    ///
+    /// Defaults to `false`, which is always correct (the simulator then
+    /// runs the exact per-mechanism warm path).
+    fn warm_events_only(&self) -> bool {
+        false
+    }
+
     /// Describes the mechanism's added hardware for the cost/power models.
     fn hardware(&self) -> HardwareBudget;
 
@@ -267,6 +288,10 @@ impl Mechanism for BaseMechanism {
     }
 
     fn on_access(&mut self, _event: &AccessEvent, _prefetch: &mut PrefetchQueue) {}
+
+    fn warm_events_only(&self) -> bool {
+        true // observes nothing, perturbs nothing
+    }
 
     fn hardware(&self) -> HardwareBudget {
         HardwareBudget::none("Base")

@@ -1,0 +1,282 @@
+//! Pre-materialized trace storage: the packed [`TraceBuffer`].
+//!
+//! Generating an instruction stream is RNG-heavy (every instruction rolls
+//! dependencies, addresses and values), and a campaign re-generates the
+//! *identical* stream for every mechanism column of a sweep. A
+//! [`TraceBuffer`] runs the generator once per (benchmark, seed, length)
+//! and stores the stream in struct-of-arrays form (27 bytes per
+//! instruction); replaying it through an [`InstStream`] cursor is a pure
+//! table read that is shared across campaign cells via `Arc` with zero
+//! copying.
+//!
+//! Replay is exact: `buffer.get(i)` reconstructs the very [`TraceInst`]
+//! the generator produced (property-tested in `tests/properties.rs`), so
+//! results are bit-identical whether a cell streams or replays.
+
+use crate::inst::{BranchInfo, MemRef, OpClass, TraceInst};
+use crate::workload::{InstStream, Workload};
+use microlib_model::Addr;
+use std::sync::Arc;
+
+/// Bit assignments inside [`TraceBuffer::meta`].
+const OP_MASK: u8 = 0x0F;
+const FLAG_TAKEN: u8 = 0x10;
+const FLAG_MISPREDICTED: u8 = 0x20;
+
+fn encode_op(op: OpClass) -> u8 {
+    match op {
+        OpClass::IntAlu => 0,
+        OpClass::IntMult => 1,
+        OpClass::IntDiv => 2,
+        OpClass::FpAlu => 3,
+        OpClass::FpMult => 4,
+        OpClass::FpDiv => 5,
+        OpClass::Load => 6,
+        OpClass::Store => 7,
+        OpClass::Branch => 8,
+    }
+}
+
+fn decode_op(bits: u8) -> OpClass {
+    match bits & OP_MASK {
+        0 => OpClass::IntAlu,
+        1 => OpClass::IntMult,
+        2 => OpClass::IntDiv,
+        3 => OpClass::FpAlu,
+        4 => OpClass::FpMult,
+        5 => OpClass::FpDiv,
+        6 => OpClass::Load,
+        7 => OpClass::Store,
+        8 => OpClass::Branch,
+        other => unreachable!("invalid op encoding {other}"),
+    }
+}
+
+/// A packed, shareable recording of the first `len` instructions of one
+/// workload's deterministic stream.
+///
+/// Layout is struct-of-arrays: one lane per field, with the memory address
+/// and branch target sharing a lane (an instruction has at most one of
+/// them). Dependency distances are 1..=64 by construction, so they pack
+/// into a byte with 0 as the "no dependency" sentinel.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_trace::{benchmarks, TraceBuffer, Workload};
+/// use std::sync::Arc;
+///
+/// let workload = Workload::new(benchmarks::by_name("swim").unwrap(), 42);
+/// let buffer = Arc::new(TraceBuffer::capture(&workload, 1_000));
+/// let replayed: Vec<_> = TraceBuffer::replay(&buffer).take(1_000).collect();
+/// let generated: Vec<_> = workload.stream().take(1_000).collect();
+/// assert_eq!(replayed, generated);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TraceBuffer {
+    benchmark: &'static str,
+    seed: u64,
+    pc: Vec<u64>,
+    /// Memory address for loads/stores, branch target for branches.
+    aux: Vec<u64>,
+    /// Stored value for stores (zero elsewhere, matching the generator).
+    value: Vec<u64>,
+    /// Dependency distances, 0 = none.
+    deps: Vec<[u8; 2]>,
+    /// Packed op class + branch flags.
+    meta: Vec<u8>,
+}
+
+impl TraceBuffer {
+    /// Runs `workload`'s generator for `len` instructions and packs the
+    /// result.
+    pub fn capture(workload: &Workload, len: u64) -> Self {
+        let n = len as usize;
+        let mut buf = TraceBuffer {
+            benchmark: workload.name(),
+            seed: workload.seed(),
+            pc: Vec::with_capacity(n),
+            aux: Vec::with_capacity(n),
+            value: Vec::with_capacity(n),
+            deps: Vec::with_capacity(n),
+            meta: Vec::with_capacity(n),
+        };
+        for inst in workload.stream().take(n) {
+            buf.push(&inst);
+        }
+        buf
+    }
+
+    fn push(&mut self, inst: &TraceInst) {
+        let mut meta = encode_op(inst.op);
+        let mut aux = 0u64;
+        let mut value = 0u64;
+        if let Some(m) = inst.mem {
+            aux = m.addr.raw();
+            value = m.value;
+        }
+        if let Some(b) = inst.branch {
+            aux = b.target.raw();
+            if b.taken {
+                meta |= FLAG_TAKEN;
+            }
+            if b.mispredicted {
+                meta |= FLAG_MISPREDICTED;
+            }
+        }
+        let dep = |d: Option<u32>| {
+            debug_assert!(d.is_none_or(|d| (1..=64).contains(&d)));
+            d.map_or(0u8, |d| d as u8)
+        };
+        self.pc.push(inst.pc.raw());
+        self.aux.push(aux);
+        self.value.push(value);
+        self.deps
+            .push([dep(inst.src_deps[0]), dep(inst.src_deps[1])]);
+        self.meta.push(meta);
+    }
+
+    /// The benchmark this buffer was captured from.
+    pub fn benchmark(&self) -> &'static str {
+        self.benchmark
+    }
+
+    /// The workload seed this buffer was captured with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of recorded instructions.
+    pub fn len(&self) -> u64 {
+        self.meta.len() as u64
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (capacity-based).
+    pub fn approx_bytes(&self) -> usize {
+        self.pc.capacity() * 8
+            + self.aux.capacity() * 8
+            + self.value.capacity() * 8
+            + self.deps.capacity() * 2
+            + self.meta.capacity()
+    }
+
+    /// Reconstructs instruction `index` exactly as generated.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    pub fn get(&self, index: u64) -> TraceInst {
+        let i = index as usize;
+        let meta = self.meta[i];
+        let op = decode_op(meta);
+        let to_dep = |d: u8| (d != 0).then_some(d as u32);
+        let deps = self.deps[i];
+        TraceInst {
+            pc: Addr::new(self.pc[i]),
+            op,
+            src_deps: [to_dep(deps[0]), to_dep(deps[1])],
+            mem: op.is_mem().then(|| MemRef {
+                addr: Addr::new(self.aux[i]),
+                is_store: op == OpClass::Store,
+                value: self.value[i],
+            }),
+            branch: (op == OpClass::Branch).then(|| BranchInfo {
+                taken: meta & FLAG_TAKEN != 0,
+                target: Addr::new(self.aux[i]),
+                mispredicted: meta & FLAG_MISPREDICTED != 0,
+            }),
+        }
+    }
+
+    /// A zero-copy replay cursor over the whole buffer (the replay face of
+    /// [`InstStream`]).
+    pub fn replay(buffer: &Arc<Self>) -> InstStream {
+        InstStream::replay(Arc::clone(buffer), 0)
+    }
+
+    /// A replay cursor starting at instruction `start`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > self.len()`.
+    pub fn replay_from(buffer: &Arc<Self>, start: u64) -> InstStream {
+        assert!(
+            start <= buffer.len(),
+            "replay start {start} beyond buffer length {}",
+            buffer.len()
+        );
+        InstStream::replay(Arc::clone(buffer), start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks;
+
+    fn workload(name: &str, seed: u64) -> Workload {
+        Workload::new(benchmarks::by_name(name).unwrap(), seed)
+    }
+
+    #[test]
+    fn replay_matches_generation() {
+        for name in ["swim", "mcf", "crafty"] {
+            let w = workload(name, 7);
+            let buf = Arc::new(TraceBuffer::capture(&w, 3_000));
+            assert_eq!(buf.len(), 3_000);
+            let generated: Vec<_> = w.stream().take(3_000).collect();
+            let replayed: Vec<_> = TraceBuffer::replay(&buf).collect();
+            assert_eq!(generated, replayed, "{name}");
+        }
+    }
+
+    #[test]
+    fn replay_from_offset_matches_tail() {
+        let w = workload("gzip", 11);
+        let buf = Arc::new(TraceBuffer::capture(&w, 2_000));
+        let tail: Vec<_> = w.stream().skip(500).take(1_500).collect();
+        let replayed: Vec<_> = TraceBuffer::replay_from(&buf, 500).collect();
+        assert_eq!(tail, replayed);
+    }
+
+    #[test]
+    fn cursor_ends_at_buffer_length() {
+        let w = workload("swim", 1);
+        let buf = Arc::new(TraceBuffer::capture(&w, 100));
+        let mut s = TraceBuffer::replay(&buf);
+        assert_eq!(s.by_ref().count(), 100);
+        assert!(s.next().is_none());
+        assert_eq!(s.stream_position(), 100);
+    }
+
+    #[test]
+    fn op_encoding_round_trips() {
+        for op in [
+            OpClass::IntAlu,
+            OpClass::IntMult,
+            OpClass::IntDiv,
+            OpClass::FpAlu,
+            OpClass::FpMult,
+            OpClass::FpDiv,
+            OpClass::Load,
+            OpClass::Store,
+            OpClass::Branch,
+        ] {
+            assert_eq!(decode_op(encode_op(op)), op);
+        }
+    }
+
+    #[test]
+    fn metadata_is_preserved() {
+        let w = workload("mcf", 3);
+        let buf = Arc::new(TraceBuffer::capture(&w, 500));
+        assert_eq!(buf.benchmark(), "mcf");
+        assert_eq!(buf.seed(), 3);
+        assert!(buf.approx_bytes() >= 500 * 27);
+    }
+}

@@ -6,7 +6,7 @@
 //! removes false dependences, so true dataflow plus resources is exactly
 //! what determines scheduling).
 
-use microlib_model::Addr;
+use microlib_model::{AccessKind, Addr};
 
 /// Functional class of an instruction (drives functional-unit selection and
 /// latency in the core model).
@@ -73,7 +73,7 @@ pub struct BranchInfo {
 /// # Examples
 ///
 /// ```
-/// use microlib_model::Addr;
+/// use microlib_model::{AccessKind, Addr};
 /// use microlib_trace::{OpClass, TraceInst};
 ///
 /// let inst = TraceInst::alu(Addr::new(0x400000), OpClass::IntAlu, [Some(1), None]);
@@ -136,6 +136,24 @@ impl TraceInst {
             }),
             branch: None,
         }
+    }
+
+    /// The `(address, kind, value)` triple the functional warm phase
+    /// consumes (see `MemorySystem::warm_inst`), if this instruction
+    /// touches data memory. The single definition of that mapping — the
+    /// live warm loop and warm-state capture must agree on it exactly.
+    pub fn warm_mem_ref(&self) -> Option<(Addr, AccessKind, u64)> {
+        self.mem.map(|m| {
+            (
+                m.addr,
+                if m.is_store {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                },
+                m.value,
+            )
+        })
     }
 
     /// Builds a branch.

@@ -27,6 +27,7 @@
 
 pub mod bbv;
 pub mod benchmarks;
+mod buffer;
 mod inst;
 mod profile;
 pub mod simpoint;
@@ -34,6 +35,7 @@ mod window;
 mod workload;
 
 pub use bbv::{BbvInterval, BbvProfiler};
+pub use buffer::TraceBuffer;
 pub use inst::{BranchInfo, MemRef, OpClass, TraceInst};
 pub use profile::{BenchmarkProfile, PhaseProfile, StreamSpec, Suite, FREQUENT_VALUES};
 pub use simpoint::{choose_simpoints, primary_simpoint, SimPoint};

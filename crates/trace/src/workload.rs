@@ -296,6 +296,11 @@ impl Workload {
         self.profile.name
     }
 
+    /// The layout/stream seed this workload was instantiated with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
     /// Writes the workload's initial memory image (both architectural and
     /// DRAM copies) into `memory`. Call once before simulation.
     pub fn initialize(&self, memory: &mut FunctionalMemory) {
@@ -308,22 +313,119 @@ impl Workload {
     /// you need).
     pub fn stream(&self) -> InstStream {
         InstStream {
-            rng: SmallRng::seed_from_u64(self.seed ^ hash_name(self.profile.name) ^ 0x5717_ce57),
-            profile: self.profile.clone(),
-            phases: self.phases.clone(),
-            seq: 0,
-            block_left: 0,
-            pc: Addr::new(CODE_BASE),
-            block_pc: Addr::new(CODE_BASE),
-            current_block: 0,
-            block_mem_slot: 0,
+            inner: StreamInner::Generate(Box::new(GenState {
+                rng: SmallRng::seed_from_u64(
+                    self.seed ^ hash_name(self.profile.name) ^ 0x5717_ce57,
+                ),
+                profile: self.profile.clone(),
+                phases: self.phases.clone(),
+                seq: 0,
+                block_left: 0,
+                pc: Addr::new(CODE_BASE),
+                block_pc: Addr::new(CODE_BASE),
+                current_block: 0,
+                block_mem_slot: 0,
+            })),
         }
     }
 }
 
-/// Infinite deterministic instruction stream for one workload.
+/// Deterministic instruction stream for one workload.
+///
+/// A stream is either a *generator* (infinite, RNG-driven — the mode
+/// [`Workload::stream`] returns) or a *zero-copy replay cursor* over a
+/// shared pre-materialized [`TraceBuffer`](crate::TraceBuffer) (finite,
+/// pure table reads — the mode [`TraceBuffer::replay`] returns). Both
+/// modes yield the identical instruction sequence for the same
+/// (benchmark, seed) pair; campaigns share one buffer across cells and
+/// replay it instead of re-generating.
+///
+/// [`TraceBuffer::replay`]: crate::TraceBuffer::replay
 #[derive(Clone, Debug)]
 pub struct InstStream {
+    inner: StreamInner,
+}
+
+#[derive(Clone, Debug)]
+enum StreamInner {
+    Generate(Box<GenState>),
+    Replay {
+        buffer: Arc<crate::TraceBuffer>,
+        pos: u64,
+    },
+}
+
+impl InstStream {
+    pub(crate) fn replay(buffer: Arc<crate::TraceBuffer>, pos: u64) -> Self {
+        InstStream {
+            inner: StreamInner::Replay { buffer, pos },
+        }
+    }
+
+    /// The number of instructions produced so far (for replay cursors, the
+    /// current buffer position). Named to avoid clashing with
+    /// [`Iterator::position`].
+    pub fn stream_position(&self) -> u64 {
+        match &self.inner {
+            StreamInner::Generate(g) => g.seq,
+            StreamInner::Replay { pos, .. } => *pos,
+        }
+    }
+
+    /// Fast-forwards to absolute position `target` without yielding the
+    /// skipped instructions. O(1) for replay cursors; generators step
+    /// through the intermediate instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `target` is behind the current position, or (replay mode)
+    /// beyond the end of the buffer.
+    pub fn advance_to(&mut self, target: u64) {
+        assert!(
+            target >= self.stream_position(),
+            "cannot rewind stream from {} to {target}",
+            self.stream_position()
+        );
+        match &mut self.inner {
+            StreamInner::Generate(g) => {
+                while g.seq < target {
+                    g.next_inst();
+                }
+            }
+            StreamInner::Replay { buffer, pos } => {
+                assert!(
+                    target <= buffer.len(),
+                    "advance target {target} beyond buffer length {}",
+                    buffer.len()
+                );
+                *pos = target;
+            }
+        }
+    }
+}
+
+impl Iterator for InstStream {
+    type Item = TraceInst;
+
+    fn next(&mut self) -> Option<TraceInst> {
+        match &mut self.inner {
+            StreamInner::Generate(g) => Some(g.next_inst()),
+            StreamInner::Replay { buffer, pos } => {
+                if *pos < buffer.len() {
+                    let inst = buffer.get(*pos);
+                    *pos += 1;
+                    Some(inst)
+                } else {
+                    None
+                }
+            }
+        }
+    }
+}
+
+/// The RNG-driven generator state behind [`InstStream`]'s generate mode.
+#[derive(Clone, Debug)]
+struct GenState {
     rng: SmallRng,
     profile: BenchmarkProfile,
     phases: Vec<ConcretePhase>,
@@ -337,16 +439,11 @@ pub struct InstStream {
     block_mem_slot: u32,
 }
 
-impl InstStream {
+impl GenState {
     /// Index of the phase active at instruction `seq`.
     fn phase_index(&self, seq: u64) -> usize {
         let segment = (seq / self.profile.phase_len) as usize;
         self.profile.phase_pattern[segment % self.profile.phase_pattern.len()]
-    }
-
-    /// The number of instructions generated so far.
-    pub fn position(&self) -> u64 {
-        self.seq
     }
 
     fn sample_dep(&mut self) -> Option<u32> {
@@ -475,10 +572,9 @@ impl InstStream {
     }
 }
 
-impl Iterator for InstStream {
-    type Item = TraceInst;
-
-    fn next(&mut self) -> Option<TraceInst> {
+impl GenState {
+    /// Generates the next instruction (the stream is infinite).
+    fn next_inst(&mut self) -> TraceInst {
         let phase = self.phase_index(self.seq);
         if self.block_left == 0 {
             self.next_block(phase);
@@ -551,7 +647,7 @@ impl Iterator for InstStream {
             }
         };
         self.seq += 1;
-        Some(inst)
+        inst
     }
 }
 
@@ -646,9 +742,12 @@ mod tests {
         let p = benchmarks::by_name("gcc").unwrap();
         let w = Workload::new(p.clone(), 1);
         let s = w.stream();
+        let StreamInner::Generate(g) = &s.inner else {
+            panic!("Workload::stream is a generator");
+        };
         let max_phase = p.phases.len();
         for seg in 0..6u64 {
-            let idx = s.phase_index(seg * p.phase_len + 1);
+            let idx = g.phase_index(seg * p.phase_len + 1);
             assert!(idx < max_phase);
         }
     }

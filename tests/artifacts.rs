@@ -1,0 +1,252 @@
+//! The acceptance property behind the shared-artifact stack: sharing
+//! trace buffers, warm-state checkpoints and memoized cells must never
+//! change a single result byte. Every study mechanism — the ten that
+//! replay their warmup from the recorded event log and the three sidecar
+//! mechanisms that keep the exact full warm path — is compared cold vs
+//! shared, field for field.
+
+use microlib::report::text_table;
+use microlib::{
+    run_custom, run_custom_with, run_one, run_one_with, ArtifactStore, Campaign, CampaignReport,
+    ExperimentConfig, RunResult, SimOptions,
+};
+use microlib_mech::{MechanismKind, TagCorrelatingPrefetcher};
+use microlib_model::SystemConfig;
+use microlib_trace::TraceWindow;
+use std::sync::Arc;
+
+fn opts(skip: u64, simulate: u64) -> SimOptions {
+    SimOptions {
+        window: TraceWindow::new(skip, simulate),
+        ..SimOptions::default()
+    }
+}
+
+/// Every observable field of a run, rendered exhaustively: `RunResult`'s
+/// `Debug` output covers perf, all cache/memory/core counters, mechanism
+/// and queue stats, and the hardware inventory.
+fn fingerprint(r: &RunResult) -> String {
+    format!("{r:?}")
+}
+
+#[test]
+fn shared_artifacts_match_cold_runs_for_every_mechanism() {
+    let config = SystemConfig::baseline_constant_memory();
+    let shared_config = Arc::new(config.clone());
+    let store = ArtifactStore::new();
+    let opts = opts(3_000, 2_000);
+    let mut kinds = MechanismKind::study_set().to_vec();
+    kinds.push(MechanismKind::DbcpInitial);
+    for bench in ["swim", "mcf"] {
+        for kind in &kinds {
+            let cold = run_one(&config, *kind, bench, &opts).unwrap();
+            let shared = run_one_with(&store, &shared_config, *kind, bench, &opts).unwrap();
+            assert_eq!(
+                fingerprint(&cold),
+                fingerprint(&shared),
+                "{bench} × {kind:?}: shared artifacts changed the result"
+            );
+        }
+    }
+    let stats = store.stats();
+    assert!(stats.trace_hits > 0, "cells must share the trace buffer");
+    assert!(stats.warm_hits > 0, "cells must share the warm checkpoint");
+}
+
+#[test]
+fn memo_cache_serves_identical_results() {
+    let store = ArtifactStore::new();
+    let config = Arc::new(SystemConfig::baseline_constant_memory());
+    let opts = opts(1_000, 1_000);
+    let first = run_one_with(&store, &config, MechanismKind::Sp, "gzip", &opts).unwrap();
+    let misses = store.stats().memo_misses;
+    let second = run_one_with(&store, &config, MechanismKind::Sp, "gzip", &opts).unwrap();
+    assert_eq!(fingerprint(&first), fingerprint(&second));
+    assert_eq!(
+        store.stats().memo_misses,
+        misses,
+        "second run must not simulate"
+    );
+    assert_eq!(store.stats().memo_hits, 1);
+}
+
+#[test]
+fn custom_mechanisms_share_artifacts_without_memo() {
+    let store = ArtifactStore::new();
+    let config = SystemConfig::baseline_constant_memory();
+    let shared_config = Arc::new(config.clone());
+    let opts = opts(2_000, 1_500);
+    let cold = run_custom(
+        &config,
+        Box::new(TagCorrelatingPrefetcher::with_queue_capacity(1)),
+        MechanismKind::Tcp,
+        "swim",
+        &opts,
+    )
+    .unwrap();
+    let shared = run_custom_with(
+        &store,
+        &shared_config,
+        Box::new(TagCorrelatingPrefetcher::with_queue_capacity(1)),
+        MechanismKind::Tcp,
+        "swim",
+        &opts,
+    )
+    .unwrap();
+    assert_eq!(fingerprint(&cold), fingerprint(&shared));
+    assert_eq!(store.stats().memo_hits + store.stats().memo_misses, 0);
+}
+
+fn campaign_config() -> ExperimentConfig {
+    ExperimentConfig {
+        system: SystemConfig::baseline_constant_memory(),
+        benchmarks: vec!["swim".into(), "gzip".into(), "mcf".into()],
+        mechanisms: vec![
+            MechanismKind::Base,
+            MechanismKind::Ghb,
+            MechanismKind::Vc, // sidecar: exercises the exact-warm fallback
+            MechanismKind::Tk, // eviction observer: exercises event replay
+        ],
+        window: TraceWindow::new(2_000, 1_500),
+        seed: 0xC0FFEE,
+        threads: 2,
+    }
+}
+
+/// Renders a report the way the experiment harnesses do, covering every
+/// counter that reaches a result table.
+fn result_table(report: CampaignReport) -> String {
+    let matrix = report.into_matrix().expect("all cells clean");
+    let mut rows = Vec::new();
+    for b in matrix.benchmarks() {
+        let mut row = vec![b.clone()];
+        for k in matrix.mechanisms() {
+            let r = matrix.result(b, *k);
+            row.push(format!(
+                "{:.9}/{}/{}/{}/{}",
+                matrix.speedup(b, *k),
+                r.perf.cycles,
+                r.l1d.misses,
+                r.l2.misses,
+                r.mechanism_stats().prefetches_requested,
+            ));
+        }
+        rows.push(row);
+    }
+    text_table(&["benchmark", "Base", "GHB", "VC", "TK"], &rows)
+}
+
+#[test]
+fn campaign_tables_match_with_sharing_on_off_and_memoized() {
+    let cfg = campaign_config();
+    let cold = result_table(
+        Campaign::new(cfg.clone())
+            .without_artifacts()
+            .run()
+            .unwrap(),
+    );
+    let store = Arc::new(ArtifactStore::new());
+    let shared = result_table(
+        Campaign::new(cfg.clone())
+            .with_store(Arc::clone(&store))
+            .run()
+            .unwrap(),
+    );
+    assert_eq!(
+        cold.as_bytes(),
+        shared.as_bytes(),
+        "artifact sharing changed the table:\n--- cold\n{cold}\n--- shared\n{shared}"
+    );
+    // Re-sweeping over the same store is served entirely from the memo.
+    let before = store.stats().memo_misses;
+    let memoized = result_table(Campaign::new(cfg).with_store(store.clone()).run().unwrap());
+    assert_eq!(cold.as_bytes(), memoized.as_bytes());
+    assert_eq!(
+        store.stats().memo_misses,
+        before,
+        "re-sweep must not simulate any cell"
+    );
+}
+
+#[test]
+fn disabled_store_routes_to_cold_path() {
+    let store = ArtifactStore::disabled();
+    let config = Arc::new(SystemConfig::baseline_constant_memory());
+    let o = opts(500, 500);
+    run_one_with(&store, &config, MechanismKind::Tp, "swim", &o).unwrap();
+    run_one_with(&store, &config, MechanismKind::Tp, "swim", &o).unwrap();
+    let stats = store.stats();
+    assert_eq!(stats.trace_hits + stats.trace_misses, 0);
+    assert_eq!(stats.memo_hits + stats.memo_misses, 0);
+}
+
+/// Diagnostic (run with `--ignored --nocapture`): where warm time goes.
+#[test]
+#[ignore = "timing probe, not an assertion"]
+fn warm_path_cost_breakdown() {
+    use microlib_trace::{benchmarks, TraceBuffer, Workload};
+    use std::time::Instant;
+    let skip = 150_000u64;
+    let config = Arc::new(SystemConfig::baseline());
+    for bench in ["swim", "mcf", "gzip"] {
+        let w = Arc::new(Workload::new(benchmarks::by_name(bench).unwrap(), 0xC0FFEE));
+        let t = Instant::now();
+        let buf = Arc::new(TraceBuffer::capture(&w, skip + 100_000));
+        let t_capture_trace = t.elapsed();
+
+        // Cold warm (replay cursor, full warm path, Base mech).
+        let t = Instant::now();
+        let mut mem = microlib::mem::MemorySystem::new(
+            Arc::clone(&config),
+            vec![MechanismKind::Base.build()],
+        )
+        .unwrap();
+        w.initialize(mem.functional_mut());
+        let mut s = TraceBuffer::replay(&buf);
+        for _ in 0..skip {
+            let inst = s.next().unwrap();
+            let mr = inst.mem.map(|m| {
+                (
+                    m.addr,
+                    if m.is_store {
+                        microlib::model::AccessKind::Store
+                    } else {
+                        microlib::model::AccessKind::Load
+                    },
+                    m.value,
+                )
+            });
+            mem.warm_inst(inst.pc, mr);
+        }
+        let t_cold_warm = t.elapsed();
+
+        // Capture warm state (recorder run + log).
+        let store = ArtifactStore::new();
+        store.trace(bench, 0xC0FFEE, skip + 100_000).unwrap();
+        assert!(store
+            .warm_state(bench, 0xC0FFEE, skip, &config)
+            .unwrap()
+            .is_none());
+        let t = Instant::now();
+        let ws = store
+            .warm_state(bench, 0xC0FFEE, skip, &config)
+            .unwrap()
+            .expect("second request captures");
+        let t_capture_warm = t.elapsed();
+        eprintln!("{bench}: log events = {}", ws.log.len());
+
+        // Restore + replay.
+        let t = Instant::now();
+        let mut mem2 =
+            microlib::mem::MemorySystem::new(Arc::clone(&config), vec![MechanismKind::Ghb.build()])
+                .unwrap();
+        mem2.restore_warm(&ws.checkpoint);
+        mem2.replay_warm_events(&ws.log);
+        let t_restore = t.elapsed();
+
+        eprintln!(
+            "{bench}: trace-capture {t_capture_trace:?}, cold-warm {t_cold_warm:?}, \
+             warm-capture {t_capture_warm:?}, restore+replay {t_restore:?}"
+        );
+    }
+}

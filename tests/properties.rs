@@ -263,6 +263,45 @@ fn workload_streams_well_formed() {
     }
 }
 
+/// Replaying a captured [`TraceBuffer`] is instruction-for-instruction
+/// identical to streaming generation, for random (benchmark, seed,
+/// window) triples — including replay cursors that start mid-buffer the
+/// way a restored warm checkpoint does.
+#[test]
+fn trace_buffer_replay_equals_streaming_generation() {
+    use microlib_trace::{benchmarks, TraceBuffer, Workload};
+    use std::sync::Arc;
+    for case in 0..24 {
+        let mut rng = case_rng("trace_buffer_replay", case);
+        let seed = rng.gen::<u64>();
+        let bench = benchmarks::NAMES[rng.gen_range(0usize..26)];
+        let skip = rng.gen_range(0u64..4_000);
+        let simulate = rng.gen_range(1u64..4_000);
+        let len = skip + simulate;
+        let workload = Workload::new(benchmarks::by_name(bench).unwrap(), seed);
+        let buffer = Arc::new(TraceBuffer::capture(&workload, len));
+        assert_eq!(buffer.len(), len, "case {case}: {bench}/{seed:#x}");
+
+        let generated: Vec<_> = workload.stream().take(len as usize).collect();
+        let replayed: Vec<_> = TraceBuffer::replay(&buffer).collect();
+        assert_eq!(
+            generated, replayed,
+            "case {case}: {bench}/{seed:#x}/{skip}+{simulate}: full replay diverged"
+        );
+
+        // A cursor advanced to the window start yields the window exactly.
+        let mut cursor = TraceBuffer::replay(&buffer);
+        cursor.advance_to(skip);
+        assert_eq!(cursor.stream_position(), skip);
+        let window: Vec<_> = cursor.collect();
+        assert_eq!(
+            &generated[skip as usize..],
+            window.as_slice(),
+            "case {case}: {bench}/{seed:#x}/{skip}+{simulate}: windowed replay diverged"
+        );
+    }
+}
+
 /// For arbitrary seeds and mechanisms, a short end-to-end run commits
 /// every instruction and never violates value integrity (`run_one`
 /// returns `Err` on violation). End-to-end cases are expensive; the case
