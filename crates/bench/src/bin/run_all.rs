@@ -14,12 +14,19 @@
 //! # Usage
 //!
 //! ```text
-//! run_all [--only <name>[,<name>...]]
+//! run_all [--sampled] [--only <name>[,<name>...]]
 //! ```
 //!
 //! `--only` filters the battery by experiment name (exact or unambiguous
 //! prefix — `--only fig03` runs `fig03_dbcp_fix`), so a single figure can
 //! be (re)produced without the whole battery.
+//!
+//! `--sampled` runs every sweep SimPoint-sampled (sets `MICROLIB_SAMPLED=1`
+//! unless an explicit spec is already in the environment) and writes to
+//! `results-sampled/` so the committed full-mode `results/` stay
+//! untouched. The `ablation_sampling` experiment — which exists to compare
+//! sampled against full simulation — is excluded from the default sampled
+//! battery (select it explicitly with `--only` if wanted).
 
 use microlib_bench::{experiments, Context};
 use std::fs;
@@ -55,13 +62,18 @@ fn resolve(name: &str) -> Result<&'static str, String> {
     }
 }
 
-/// Parses the command line into the set of experiment names to run.
-fn selection() -> Result<Vec<&'static str>, String> {
+/// Parses the command line: the set of experiment names to run, and
+/// whether `--sampled` was given.
+fn selection() -> Result<(Vec<&'static str>, bool), String> {
     let mut args = std::env::args().skip(1);
     let mut selected: Vec<&'static str> = Vec::new();
+    let mut explicit = false;
+    let mut sampled = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--sampled" => sampled = true,
             "--only" => {
+                explicit = true;
                 let list = args
                     .next()
                     .ok_or_else(|| "--only needs a comma-separated experiment list".to_owned())?;
@@ -74,27 +86,49 @@ fn selection() -> Result<Vec<&'static str>, String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument {other:?} (expected --only <list>)"
+                    "unknown argument {other:?} (expected --sampled or --only <list>)"
                 ))
             }
         }
     }
-    if selected.is_empty() {
-        Ok(experiments::ALL.iter().map(|(n, _)| *n).collect())
-    } else {
-        Ok(selected)
+    if !explicit {
+        selected = experiments::ALL
+            .iter()
+            .map(|(n, _)| *n)
+            // The sampled-vs-full calibration study forces a full-mode
+            // standard campaign, defeating the point of a sampled battery.
+            .filter(|n| !(sampled && *n == "ablation_sampling"))
+            .collect();
     }
+    Ok((selected, sampled))
 }
 
 fn main() {
-    let selected = match selection() {
+    let (selected, sampled) = match selection() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
             exit(2);
         }
     };
-    fs::create_dir_all("results").expect("results dir");
+    // `--sampled` must actually sample: override an unset or *disabling*
+    // MICROLIB_SAMPLED (a stale `=0` in the shell would otherwise run the
+    // whole battery in full mode while labeling the output sampled), but
+    // respect an explicit sampling spec.
+    if sampled
+        && matches!(
+            std::env::var("MICROLIB_SAMPLED").as_deref(),
+            Err(_) | Ok("" | "0" | "off" | "false")
+        )
+    {
+        std::env::set_var("MICROLIB_SAMPLED", "1");
+    }
+    let out_dir = if sampled {
+        "results-sampled"
+    } else {
+        "results"
+    };
+    fs::create_dir_all(out_dir).expect("results dir");
     let mut cx = Context::new();
     let battery = Instant::now();
     let mut failed = 0usize;
@@ -112,7 +146,7 @@ fn main() {
         // capture for diagnosis, move on — the old child-process
         // orchestrator's isolation, kept across the in-process port.
         let outcome = panic::catch_unwind(AssertUnwindSafe(|| run(&mut cx, &mut captured)));
-        let path = format!("results/{name}.txt");
+        let path = format!("{out_dir}/{name}.txt");
         fs::write(&path, &captured).expect("write result");
         match outcome {
             Ok(Ok(())) => println!("    -> {path} ({:.1?})", t.elapsed()),
@@ -137,16 +171,18 @@ fn main() {
     }
     let stats = cx.store().stats();
     eprintln!(
-        "artifact store: traces {}/{} hits, warm states {}/{} hits, cell memo {}/{} hits",
+        "artifact store: traces {}/{} hits, warm states {}/{} hits, sampling plans {}/{} hits, cell memo {}/{} hits",
         stats.trace_hits,
         stats.trace_hits + stats.trace_misses,
         stats.warm_hits,
         stats.warm_hits + stats.warm_misses,
+        stats.plan_hits,
+        stats.plan_hits + stats.plan_misses,
         stats.memo_hits,
         stats.memo_hits + stats.memo_misses,
     );
     println!(
-        "\nall {ran} experiments done in {:.1?} ({failed} failed); results under results/",
+        "\nall {ran} experiments done in {:.1?} ({failed} failed); results under {out_dir}/",
         battery.elapsed()
     );
     if failed > 0 {

@@ -61,6 +61,7 @@ pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
             window: crate::std_window(),
             seed: crate::std_seed(),
             threads: crate::std_threads(),
+            sampling: crate::std_sampling(),
         };
         let matrix = cx.sweep(&cfg);
         let ipcs: Vec<f64> = BENCHES

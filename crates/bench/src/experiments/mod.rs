@@ -1,7 +1,7 @@
 //! The experiment battery, one module per figure/table of the paper.
 //!
 //! Every experiment is a plain function `run(cx, w)`: shared sweeps come
-//! from the [`Context`](crate::Context) (so a battery run computes the
+//! from the [`Context`] (so a battery run computes the
 //! standard campaign once), and all deterministic output goes to `w`
 //! (stdout for the standalone binaries, a capture buffer for `run_all`).
 //! Progress and timing go to stderr only — result tables must be
@@ -11,6 +11,7 @@ use crate::Context;
 use std::io;
 
 pub mod ablation_fidelity;
+pub mod ablation_sampling;
 pub mod fig01_model_validation;
 pub mod fig02_reveng_error;
 pub mod fig03_dbcp_fix;
@@ -35,6 +36,7 @@ pub type ExperimentFn = fn(&mut Context, &mut dyn io::Write) -> io::Result<()>;
 /// covers the headline results.
 pub const ALL: &[(&str, ExperimentFn)] = &[
     ("ablation_fidelity", ablation_fidelity::run),
+    ("ablation_sampling", ablation_sampling::run),
     ("tab01_config", tab01_config::run),
     ("fig01_model_validation", fig01_model_validation::run),
     ("fig02_reveng_error", fig02_reveng_error::run),

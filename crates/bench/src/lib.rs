@@ -15,15 +15,19 @@
 //! - `MICROLIB_SEED` — workload seed (default `0xC0FFEE`);
 //! - `MICROLIB_THREADS` — worker threads (default: all cores);
 //! - `MICROLIB_ARTIFACTS` — `off`/`0`/`false` disables the shared
-//!   artifact store (traces, warm checkpoints, cell memo); results are
-//!   bit-identical either way.
+//!   artifact store (traces, warm checkpoints, sampling plans, cell
+//!   memo); results are bit-identical either way;
+//! - `MICROLIB_SAMPLED` — `1`/`on` runs sweeps SimPoint-sampled with the
+//!   default plan for the window, `interval/clusters[/warmup]` picks an
+//!   explicit plan (what `run_all --sampled` sets; see
+//!   [`SamplingMode::SimPoints`]).
 //!
 //! Result tables are written to stdout and are bit-identical for any
 //! `MICROLIB_THREADS` value; progress and timing go to stderr.
 
 #![warn(missing_docs)]
 
-use microlib::{ArtifactStore, Campaign, ExperimentConfig, Matrix, SimOptions};
+use microlib::{ArtifactStore, Campaign, ExperimentConfig, Matrix, SamplingMode, SimOptions};
 use microlib_trace::TraceWindow;
 use std::io::Write as _;
 use std::sync::Arc;
@@ -54,11 +58,57 @@ pub fn std_threads() -> usize {
     env_u64("MICROLIB_THREADS", 0) as usize
 }
 
+/// Environment-configurable sampling mode (`MICROLIB_SAMPLED`): unset,
+/// `0`, `off` or `false` run full simulations; `1`, `on` or `true` use
+/// [`SamplingMode::simpoints_for`] the standard window; an
+/// `interval/clusters[/warmup]` triple picks an explicit SimPoint plan.
+/// Unparseable values warn on stderr and fall back to the default plan.
+pub fn std_sampling() -> SamplingMode {
+    sampling_from_env(std_window())
+}
+
+fn sampling_from_env(window: TraceWindow) -> SamplingMode {
+    match std::env::var("MICROLIB_SAMPLED") {
+        Ok(value) => parse_sampling_spec(&value, window),
+        Err(_) => SamplingMode::Full,
+    }
+}
+
+fn parse_sampling_spec(spec: &str, window: TraceWindow) -> SamplingMode {
+    match spec {
+        "" | "0" | "off" | "false" => SamplingMode::Full,
+        "1" | "on" | "true" => SamplingMode::simpoints_for(window),
+        spec => {
+            let parts: Vec<Option<u64>> = spec.split('/').map(|p| p.parse::<u64>().ok()).collect();
+            match parts.as_slice() {
+                [Some(interval), Some(clusters)] => SamplingMode::SimPoints {
+                    interval: *interval,
+                    max_clusters: *clusters as usize,
+                    warmup: 0,
+                },
+                [Some(interval), Some(clusters), Some(warmup)] => SamplingMode::SimPoints {
+                    interval: *interval,
+                    max_clusters: *clusters as usize,
+                    warmup: *warmup,
+                },
+                _ => {
+                    eprintln!(
+                        "MICROLIB_SAMPLED={spec:?} is not 0/1/on/off or \
+                         interval/clusters[/warmup]; using the default plan"
+                    );
+                    SamplingMode::simpoints_for(window)
+                }
+            }
+        }
+    }
+}
+
 /// Standard [`SimOptions`] for single runs.
 pub fn std_options() -> SimOptions {
     SimOptions {
         seed: std_seed(),
         window: std_window(),
+        sampling: std_sampling(),
         ..SimOptions::default()
     }
 }
@@ -68,6 +118,7 @@ pub fn std_experiment() -> ExperimentConfig {
     let mut cfg = ExperimentConfig::paper_baseline(std_window());
     cfg.seed = std_seed();
     cfg.threads = std_threads();
+    cfg.sampling = std_sampling();
     cfg
 }
 
@@ -239,6 +290,35 @@ mod tests {
     #[test]
     fn article_window_is_longer() {
         assert!(article_window().simulate > std_window().simulate);
+    }
+
+    #[test]
+    fn sampling_spec_parses() {
+        let w = TraceWindow::new(0, 100_000);
+        assert_eq!(parse_sampling_spec("off", w), SamplingMode::Full);
+        assert_eq!(parse_sampling_spec("0", w), SamplingMode::Full);
+        assert_eq!(parse_sampling_spec("1", w), SamplingMode::simpoints_for(w));
+        assert_eq!(
+            parse_sampling_spec("5000/3", w),
+            SamplingMode::SimPoints {
+                interval: 5_000,
+                max_clusters: 3,
+                warmup: 0
+            }
+        );
+        assert_eq!(
+            parse_sampling_spec("5000/3/20000", w),
+            SamplingMode::SimPoints {
+                interval: 5_000,
+                max_clusters: 3,
+                warmup: 20_000
+            }
+        );
+        // Garbage falls back to the default plan (with a warning).
+        assert_eq!(
+            parse_sampling_spec("5000:3", w),
+            SamplingMode::simpoints_for(w)
+        );
     }
 
     #[test]

@@ -1,22 +1,28 @@
 //! The shared-artifact store: one home for everything a simulation run
 //! needs that does not depend on the mechanism under study.
 //!
-//! A (benchmark × mechanism) campaign repeats three expensive,
+//! A (benchmark × mechanism) campaign repeats several expensive,
 //! mechanism-independent computations for every cell: generating the
-//! instruction stream, replaying the functional warmup, and — across
-//! experiments — re-simulating cells another sweep already produced. An
+//! instruction stream, replaying the functional warmup, choosing the
+//! SimPoints of a sampled window, and — across experiments —
+//! re-simulating cells another sweep already produced. An
 //! [`ArtifactStore`] computes each once and shares it:
 //!
 //! - **traces** ([`TraceBuffer`]): keyed by (benchmark, seed), grown to
 //!   the longest window requested so far, replayed by every cell through
 //!   a zero-copy cursor;
 //! - **warm states** ([`WarmState`]): keyed by (benchmark, seed, skip,
-//!   configuration), the mechanism-independent cache/memory checkpoint
-//!   plus the recorded mechanism-visible event log (see
+//!   warm start, configuration), the mechanism-independent cache/memory
+//!   checkpoint plus the recorded mechanism-visible event log (see
 //!   [`microlib_mem::capture_warm_state`]);
+//! - **sampling plans** ([`SamplingPlan`]): keyed by (benchmark, seed,
+//!   region, interval, cluster cap) — the BBV profile + clustering of a
+//!   sampled window, computed once per benchmark and reused by every
+//!   mechanism column;
 //! - **cell results** ([`RunResult`]): memoized by full content key
-//!   (benchmark, mechanism, seed, window, options, configuration), so
-//!   re-sweeps and overlapping experiments get identical cells for free.
+//!   (benchmark, mechanism, seed, window, options — including the
+//!   sampling mode — and configuration), so re-sweeps and overlapping
+//!   experiments get identical cells for free.
 //!
 //! Sharing never changes results: replayed traces are
 //! instruction-for-instruction identical to streamed ones, warm replay
@@ -34,7 +40,7 @@ use crate::simulator::{RunResult, SimError, SimOptions};
 use microlib_mech::MechanismKind;
 use microlib_mem::{capture_warm_state, WarmState};
 use microlib_model::SystemConfig;
-use microlib_trace::{benchmarks, TraceBuffer, Workload};
+use microlib_trace::{benchmarks, SamplingPlan, TraceBuffer, TraceWindow, Workload};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -61,8 +67,19 @@ struct WarmGate {
     requests: u32,
     state: Option<Arc<WarmState>>,
 }
-/// (benchmark, seed, skip, configuration key) — see [`config_key`].
-type WarmKey = (&'static str, u64, u64, String);
+/// (benchmark, seed, skip, warm start, configuration key) — see
+/// [`config_key`].
+type WarmKey = (&'static str, u64, u64, u64, String);
+
+/// One sampling plan per (benchmark, seed, region, interval, cluster
+/// cap): the slot lock serializes concurrent same-key profiling requests
+/// behind one builder.
+#[derive(Default)]
+struct PlanSlot {
+    state: Mutex<Option<Arc<SamplingPlan>>>,
+}
+/// (benchmark, seed, region skip, region simulate, interval, max clusters).
+type PlanKey = (&'static str, u64, u64, u64, u64, usize);
 
 /// Hit/miss counters for the three artifact classes (observability; the
 /// numbers are reported by `run_all` on stderr).
@@ -79,6 +96,10 @@ pub struct ArtifactStoreStats {
     /// First-time warm-state requests declined (capture deferred until a
     /// second requester proves reuse).
     pub warm_declined: u64,
+    /// Sampling-plan requests served from a shared plan.
+    pub plan_hits: u64,
+    /// Sampling-plan requests that had to profile and cluster.
+    pub plan_misses: u64,
     /// Cell results served from the memo cache.
     pub memo_hits: u64,
     /// Cell results that had to simulate.
@@ -114,12 +135,15 @@ pub struct ArtifactStore {
     enabled: bool,
     traces: Mutex<HashMap<(&'static str, u64), Arc<TraceSlot>>>,
     warm: Mutex<HashMap<WarmKey, Arc<Mutex<WarmGate>>>>,
+    plans: Mutex<HashMap<PlanKey, Arc<PlanSlot>>>,
     memo: Mutex<HashMap<String, Arc<RunResult>>>,
     trace_hits: AtomicU64,
     trace_misses: AtomicU64,
     warm_hits: AtomicU64,
     warm_misses: AtomicU64,
     warm_declined: AtomicU64,
+    plan_hits: AtomicU64,
+    plan_misses: AtomicU64,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
 }
@@ -145,12 +169,15 @@ impl ArtifactStore {
             enabled,
             traces: Mutex::new(HashMap::new()),
             warm: Mutex::new(HashMap::new()),
+            plans: Mutex::new(HashMap::new()),
             memo: Mutex::new(HashMap::new()),
             trace_hits: AtomicU64::new(0),
             trace_misses: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
             warm_misses: AtomicU64::new(0),
             warm_declined: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
         }
@@ -195,6 +222,8 @@ impl ArtifactStore {
             warm_hits: self.warm_hits.load(Ordering::Relaxed),
             warm_misses: self.warm_misses.load(Ordering::Relaxed),
             warm_declined: self.warm_declined.load(Ordering::Relaxed),
+            plan_hits: self.plan_hits.load(Ordering::Relaxed),
+            plan_misses: self.plan_misses.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
         }
@@ -242,9 +271,11 @@ impl ArtifactStore {
         Ok((workload, buffer))
     }
 
-    /// The shared warm state for `(benchmark, seed, skip)` under
-    /// `config`: the mechanism-independent checkpoint plus the recorded
-    /// warm event log.
+    /// The shared warm state for `(benchmark, seed, skip, warm_start)`
+    /// under `config`: the mechanism-independent checkpoint plus the
+    /// recorded warm event log. `warm_start` is `0` for full-prefix warm
+    /// (every full-mode run); sampled runs with a bounded warm-up budget
+    /// key their truncated warm phases separately.
     ///
     /// Returns `Ok(None)` for the *first* request of a key — capturing
     /// costs roughly one extra warm phase, so the store only records once
@@ -261,15 +292,23 @@ impl ArtifactStore {
         benchmark: &str,
         seed: u64,
         skip: u64,
+        warm_start: u64,
         config: &Arc<SystemConfig>,
     ) -> Result<Option<Arc<WarmState>>, SimError> {
         config.validate()?;
+        let warm_start = warm_start.min(skip);
         let (workload, buffer) = self.trace(benchmark, seed, skip)?;
         let gate = {
             let mut warm = self.warm.lock().expect("warm map lock");
             Arc::clone(
-                warm.entry((buffer.benchmark(), seed, skip, config_key(config)))
-                    .or_default(),
+                warm.entry((
+                    buffer.benchmark(),
+                    seed,
+                    skip,
+                    warm_start,
+                    config_key(config),
+                ))
+                .or_default(),
             )
         };
         // Per-key lock: a concurrent same-key requester waits for the
@@ -285,8 +324,8 @@ impl ArtifactStore {
             return Ok(None);
         }
         self.warm_misses.fetch_add(1, Ordering::Relaxed);
-        let insts = TraceBuffer::replay(&buffer)
-            .take(skip as usize)
+        let insts = TraceBuffer::replay_from(&buffer, warm_start)
+            .take((skip - warm_start) as usize)
             .map(|inst| (inst.pc, inst.warm_mem_ref()));
         let state = Arc::new(
             capture_warm_state(Arc::clone(config), |fm| workload.initialize(fm), insts)
@@ -294,6 +333,58 @@ impl ArtifactStore {
         );
         gate.state = Some(Arc::clone(&state));
         Ok(Some(state))
+    }
+
+    /// The shared sampling plan for a window of `benchmark`: the BBV
+    /// profile + clustering of [`SamplingPlan::profile`], computed once
+    /// per (benchmark, seed, region, interval, cluster cap) and reused by
+    /// every mechanism column of a sampled sweep.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::UnknownBenchmark`] if `benchmark` is not in the
+    /// registry.
+    pub fn sampling_plan(
+        &self,
+        benchmark: &str,
+        seed: u64,
+        region: TraceWindow,
+        interval: u64,
+        max_clusters: usize,
+    ) -> Result<Arc<SamplingPlan>, SimError> {
+        let (_workload, buffer) = self.trace(benchmark, seed, region.end())?;
+        let slot = {
+            let mut plans = self.plans.lock().expect("plan map lock");
+            Arc::clone(
+                plans
+                    .entry((
+                        buffer.benchmark(),
+                        seed,
+                        region.skip,
+                        region.simulate,
+                        interval,
+                        max_clusters,
+                    ))
+                    .or_default(),
+            )
+        };
+        // Per-slot lock: concurrent same-key requests wait for one
+        // profiling pass instead of duplicating it.
+        let mut state = slot.state.lock().expect("plan slot lock");
+        if let Some(plan) = state.as_ref() {
+            self.plan_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(plan));
+        }
+        self.plan_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(SamplingPlan::profile(
+            TraceBuffer::replay(&buffer),
+            region,
+            interval,
+            max_clusters,
+            seed,
+        ));
+        *state = Some(Arc::clone(&plan));
+        Ok(plan)
     }
 
     /// Drops all cached warm states (the largest artifacts). Long-lived
@@ -312,12 +403,13 @@ impl ArtifactStore {
         opts: &SimOptions,
     ) -> String {
         format!(
-            "{benchmark}|{mechanism:?}|seed={:#x}|window={}+{}|check={}|max={}|{}",
+            "{benchmark}|{mechanism:?}|seed={:#x}|window={}+{}|check={}|max={}|sampling={:?}|{}",
             opts.seed,
             opts.window.skip,
             opts.window.simulate,
             opts.check_values,
             opts.max_cycles,
+            opts.sampling,
             config_key(config),
         )
     }
@@ -376,31 +468,88 @@ mod tests {
         let store = ArtifactStore::new();
         let base = Arc::new(SystemConfig::baseline_constant_memory());
         assert!(
-            store.warm_state("swim", 7, 1_000, &base).unwrap().is_none(),
+            store
+                .warm_state("swim", 7, 1_000, 0, &base)
+                .unwrap()
+                .is_none(),
             "first request is declined (capture deferred until reuse)"
         );
-        let b = store.warm_state("swim", 7, 1_000, &base).unwrap().unwrap();
-        let c = store.warm_state("swim", 7, 1_000, &base).unwrap().unwrap();
+        let b = store
+            .warm_state("swim", 7, 1_000, 0, &base)
+            .unwrap()
+            .unwrap();
+        let c = store
+            .warm_state("swim", 7, 1_000, 0, &base)
+            .unwrap()
+            .unwrap();
         assert!(Arc::ptr_eq(&b, &c));
         let mut other = SystemConfig::baseline_constant_memory();
         other.l1d.mshr_entries = 4;
         let other = Arc::new(other);
         assert!(
             store
-                .warm_state("swim", 7, 1_000, &other)
+                .warm_state("swim", 7, 1_000, 0, &other)
                 .unwrap()
                 .is_none(),
             "different config gates independently"
         );
+        assert!(
+            store
+                .warm_state("swim", 7, 1_000, 500, &base)
+                .unwrap()
+                .is_none(),
+            "different warm start gates independently"
+        );
         let stats = store.stats();
-        assert_eq!(stats.warm_declined, 2);
+        assert_eq!(stats.warm_declined, 3);
         assert_eq!(stats.warm_misses, 1);
         assert_eq!(stats.warm_hits, 1);
         store.clear_warm_states();
         assert!(
-            store.warm_state("swim", 7, 1_000, &base).unwrap().is_none(),
+            store
+                .warm_state("swim", 7, 1_000, 0, &base)
+                .unwrap()
+                .is_none(),
             "cleared states re-arm the gate"
         );
+    }
+
+    #[test]
+    fn truncated_warm_state_covers_only_the_tail() {
+        let store = ArtifactStore::new();
+        let base = Arc::new(SystemConfig::baseline_constant_memory());
+        let full_key = store.warm_state("swim", 7, 2_000, 0, &base).unwrap();
+        assert!(full_key.is_none());
+        let full = store
+            .warm_state("swim", 7, 2_000, 0, &base)
+            .unwrap()
+            .unwrap();
+        let trunc_key = store.warm_state("swim", 7, 2_000, 1_500, &base).unwrap();
+        assert!(trunc_key.is_none());
+        let trunc = store
+            .warm_state("swim", 7, 2_000, 1_500, &base)
+            .unwrap()
+            .unwrap();
+        assert_eq!(full.log.insts(), 2_000);
+        assert_eq!(trunc.log.insts(), 500, "only the tail is warmed");
+    }
+
+    #[test]
+    fn sampling_plan_is_shared() {
+        let store = ArtifactStore::new();
+        let region = TraceWindow::new(5_000, 50_000);
+        let a = store.sampling_plan("gcc", 7, region, 10_000, 4).unwrap();
+        let b = store.sampling_plan("gcc", 7, region, 10_000, 4).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second request hits the shared plan");
+        let c = store.sampling_plan("gcc", 7, region, 25_000, 4).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c), "different interval is a new plan");
+        let stats = store.stats();
+        assert_eq!(stats.plan_hits, 1);
+        assert_eq!(stats.plan_misses, 2);
+        assert!(matches!(
+            store.sampling_plan("quake3", 1, region, 10_000, 4),
+            Err(SimError::UnknownBenchmark(_))
+        ));
     }
 
     #[test]

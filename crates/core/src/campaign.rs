@@ -50,7 +50,7 @@ type ProgressFn = dyn Fn(&CellUpdate<'_>) + Send + Sync;
 /// # Examples
 ///
 /// ```
-/// use microlib::{Campaign, ExperimentConfig};
+/// use microlib::{Campaign, ExperimentConfig, SamplingMode};
 /// use microlib_mech::MechanismKind;
 /// use microlib_model::SystemConfig;
 /// use microlib_trace::TraceWindow;
@@ -62,6 +62,7 @@ type ProgressFn = dyn Fn(&CellUpdate<'_>) + Send + Sync;
 ///     window: TraceWindow::new(0, 2_000),
 ///     seed: 7,
 ///     threads: 2,
+///     sampling: SamplingMode::Full,
 /// };
 /// let report = Campaign::new(cfg).run()?;
 /// assert_eq!(report.cells().len(), 4);
@@ -314,6 +315,7 @@ mod tests {
             window: TraceWindow::new(0, 2_000),
             seed: 1,
             threads,
+            sampling: crate::SamplingMode::Full,
         }
     }
 

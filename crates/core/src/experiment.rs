@@ -2,6 +2,7 @@
 //! (benchmark × mechanism) sweep and its indexable result grid. The sweep
 //! itself runs on the campaign engine ([`crate::Campaign`]).
 
+use crate::sampling::SamplingMode;
 use crate::simulator::{RunResult, SimError, SimOptions};
 use microlib_mech::MechanismKind;
 use microlib_model::SystemConfig;
@@ -23,11 +24,14 @@ pub struct ExperimentConfig {
     pub seed: u64,
     /// Worker threads (0 = one per available core).
     pub threads: usize,
+    /// Window coverage: full detailed simulation or SimPoint-sampled
+    /// slices (identical across cells, like the window).
+    pub sampling: SamplingMode,
 }
 
 impl ExperimentConfig {
     /// The paper's main setup: all 26 benchmarks × the 13 study
-    /// configurations on the Table 1 baseline.
+    /// configurations on the Table 1 baseline, fully simulated.
     pub fn paper_baseline(window: TraceWindow) -> Self {
         ExperimentConfig {
             system: SystemConfig::baseline(),
@@ -36,6 +40,7 @@ impl ExperimentConfig {
             window,
             seed: 0xC0FFEE,
             threads: 0,
+            sampling: SamplingMode::Full,
         }
     }
 
@@ -43,6 +48,7 @@ impl ExperimentConfig {
         SimOptions {
             seed: self.seed,
             window: self.window,
+            sampling: self.sampling,
             ..SimOptions::default()
         }
     }
@@ -151,7 +157,7 @@ impl Matrix {
 /// # Examples
 ///
 /// ```
-/// use microlib::{run_matrix, ExperimentConfig};
+/// use microlib::{run_matrix, ExperimentConfig, SamplingMode};
 /// use microlib_mech::MechanismKind;
 /// use microlib_model::SystemConfig;
 /// use microlib_trace::TraceWindow;
@@ -163,6 +169,7 @@ impl Matrix {
 ///     window: TraceWindow::new(0, 2_000),
 ///     seed: 7,
 ///     threads: 2,
+///     sampling: SamplingMode::Full,
 /// };
 /// let matrix = run_matrix(&cfg)?;
 /// assert!(matrix.speedup("swim", MechanismKind::Sp) > 0.0);
@@ -184,6 +191,7 @@ mod tests {
             window: TraceWindow::new(0, 2_000),
             seed: 1,
             threads: 2,
+            sampling: SamplingMode::Full,
         }
     }
 

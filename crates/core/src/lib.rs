@@ -58,6 +58,7 @@ mod campaign;
 mod experiment;
 mod ranking;
 pub mod report;
+mod sampling;
 mod sensitivity;
 mod simulator;
 mod validation;
@@ -68,6 +69,7 @@ pub use experiment::{run_matrix, ExperimentConfig, Matrix};
 pub use ranking::{
     rank_mechanisms, ranking_row, subset_winner_analysis, RankedMechanism, SubsetWinners,
 };
+pub use sampling::SamplingMode;
 pub use sensitivity::{benchmark_sensitivity, sensitivity_classes, BenchmarkSensitivity};
 pub use simulator::{
     run_custom, run_custom_with, run_one, run_one_with, RunResult, SimError, SimOptions,

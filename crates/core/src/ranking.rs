@@ -193,6 +193,7 @@ mod tests {
             window: TraceWindow::new(0, 2_000),
             seed: 3,
             threads: 0,
+            sampling: crate::SamplingMode::Full,
         };
         run_matrix(&cfg).unwrap()
     }

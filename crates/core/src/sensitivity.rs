@@ -100,6 +100,7 @@ mod tests {
             window: TraceWindow::new(0, 3_000),
             seed: 5,
             threads: 0,
+            sampling: crate::SamplingMode::Full,
         };
         run_matrix(&cfg).unwrap()
     }

@@ -2,12 +2,13 @@
 //! one mechanism, run over a trace window.
 
 use crate::artifacts::ArtifactStore;
+use crate::sampling::{run_sampled, SamplingMode};
 use microlib_cpu::{CoreStats, OoOCore};
 use microlib_mech::MechanismKind;
 use microlib_mem::{IntegrityError, MemorySystem};
 use microlib_model::{
     CacheStats, ConfigError, HardwareBudget, MechanismStats, MemoryStats, PerfSummary,
-    PrefetchQueueStats, SystemConfig,
+    PrefetchQueueStats, SamplingEstimate, SystemConfig,
 };
 use microlib_trace::{benchmarks, InstStream, TraceBuffer, TraceWindow, Workload};
 use std::fmt;
@@ -26,6 +27,11 @@ pub struct SimOptions {
     /// Hard cycle budget per run (guards against configuration-induced
     /// livelock).
     pub max_cycles: u64,
+    /// How the window is covered: every instruction
+    /// ([`SamplingMode::Full`], the default) or SimPoint-selected
+    /// representative intervals recombined by weight
+    /// ([`SamplingMode::SimPoints`]).
+    pub sampling: SamplingMode,
 }
 
 impl Default for SimOptions {
@@ -35,6 +41,7 @@ impl Default for SimOptions {
             window: TraceWindow::new(20_000, 100_000),
             check_values: true,
             max_cycles: 0, // derived from the window
+            sampling: SamplingMode::Full,
         }
     }
 }
@@ -42,11 +49,18 @@ impl Default for SimOptions {
 impl SimOptions {
     /// The effective cycle budget.
     pub fn cycle_budget(&self) -> u64 {
+        self.cycle_budget_for(self.window.simulate)
+    }
+
+    /// The effective cycle budget for a detailed phase of `instructions`
+    /// (sampled runs budget each stretch separately; an explicit
+    /// `max_cycles` overrides the derived bound in every mode).
+    pub fn cycle_budget_for(&self, instructions: u64) -> u64 {
         if self.max_cycles > 0 {
             self.max_cycles
         } else {
             // Generous: even IPC 0.01 fits.
-            self.window.simulate.max(1_000) * 120 + 200_000
+            instructions.max(1_000) * 120 + 200_000
         }
     }
 }
@@ -81,12 +95,130 @@ pub struct RunResult {
     pub queue_l2: Option<PrefetchQueueStats>,
     /// The mechanism's hardware inventory.
     pub hardware: HardwareBudget,
+    /// How the result was reconstructed from sampled intervals, when the
+    /// run used [`SamplingMode::SimPoints`] (`None` for full runs).
+    pub sampling: Option<SamplingEstimate>,
 }
 
 impl RunResult {
     /// The mechanism's combined activity counters (whichever slot it used).
     pub fn mechanism_stats(&self) -> MechanismStats {
         self.mech_l1.or(self.mech_l2).unwrap_or_default()
+    }
+}
+
+/// Every monotone counter bundle `simulate` reports, captured mid-run at
+/// measurement boundaries and differenced.
+#[derive(Clone, Copy, Debug, Default)]
+struct StatsSnapshot {
+    core: CoreStats,
+    l1d: CacheStats,
+    l1i: CacheStats,
+    l2: CacheStats,
+    memory: MemoryStats,
+    mech_l1: Option<MechanismStats>,
+    mech_l2: Option<MechanismStats>,
+    queue_l1: Option<PrefetchQueueStats>,
+    queue_l2: Option<PrefetchQueueStats>,
+}
+
+impl StatsSnapshot {
+    fn capture(core: &OoOCore, mem: &MemorySystem) -> Self {
+        let (queue_l1, queue_l2) = mem.prefetch_queue_stats();
+        StatsSnapshot {
+            core: core.stats(),
+            l1d: mem.l1d_stats(),
+            l1i: mem.l1i_stats(),
+            l2: mem.l2_stats(),
+            memory: mem.memory_stats(),
+            mech_l1: mem.l1_mechanism_stats(),
+            mech_l2: mem.l2_mechanism_stats(),
+            queue_l1,
+            queue_l2,
+        }
+    }
+
+    /// `end - self`, field by field (all counters are monotone).
+    fn delta_from(&self, end: &StatsSnapshot) -> StatsSnapshot {
+        StatsSnapshot {
+            core: sub_core(&end.core, &self.core),
+            l1d: sub_cache(&end.l1d, &self.l1d),
+            l1i: sub_cache(&end.l1i, &self.l1i),
+            l2: sub_cache(&end.l2, &self.l2),
+            memory: sub_memory(&end.memory, &self.memory),
+            mech_l1: sub_opt(end.mech_l1, self.mech_l1, sub_mech),
+            mech_l2: sub_opt(end.mech_l2, self.mech_l2, sub_mech),
+            queue_l1: sub_opt(end.queue_l1, self.queue_l1, sub_queue),
+            queue_l2: sub_opt(end.queue_l2, self.queue_l2, sub_queue),
+        }
+    }
+}
+
+fn sub_opt<T: Copy + Default>(end: Option<T>, start: Option<T>, sub: fn(&T, &T) -> T) -> Option<T> {
+    end.map(|e| sub(&e, &start.unwrap_or_default()))
+}
+
+fn sub_core(a: &CoreStats, b: &CoreStats) -> CoreStats {
+    CoreStats {
+        committed: a.committed - b.committed,
+        cycles: a.cycles - b.cycles,
+        fetched: a.fetched - b.fetched,
+        mispredict_stall_cycles: a.mispredict_stall_cycles - b.mispredict_stall_cycles,
+        icache_stall_cycles: a.icache_stall_cycles - b.icache_stall_cycles,
+        loads_forwarded: a.loads_forwarded - b.loads_forwarded,
+        cache_reject_stalls: a.cache_reject_stalls - b.cache_reject_stalls,
+        window_full_stalls: a.window_full_stalls - b.window_full_stalls,
+        lsq_full_stalls: a.lsq_full_stalls - b.lsq_full_stalls,
+        store_commit_stalls: a.store_commit_stalls - b.store_commit_stalls,
+    }
+}
+
+fn sub_cache(a: &CacheStats, b: &CacheStats) -> CacheStats {
+    CacheStats {
+        loads: a.loads - b.loads,
+        stores: a.stores - b.stores,
+        misses: a.misses - b.misses,
+        sidecar_hits: a.sidecar_hits - b.sidecar_hits,
+        mshr_merges: a.mshr_merges - b.mshr_merges,
+        mshr_full_stalls: a.mshr_full_stalls - b.mshr_full_stalls,
+        pipeline_stalls: a.pipeline_stalls - b.pipeline_stalls,
+        port_stalls: a.port_stalls - b.port_stalls,
+        demand_fills: a.demand_fills - b.demand_fills,
+        prefetch_fills: a.prefetch_fills - b.prefetch_fills,
+        useful_prefetches: a.useful_prefetches - b.useful_prefetches,
+        writebacks: a.writebacks - b.writebacks,
+        useless_prefetch_evictions: a.useless_prefetch_evictions - b.useless_prefetch_evictions,
+    }
+}
+
+fn sub_memory(a: &MemoryStats, b: &MemoryStats) -> MemoryStats {
+    MemoryStats {
+        requests: a.requests - b.requests,
+        total_latency: a.total_latency - b.total_latency,
+        row_hits: a.row_hits - b.row_hits,
+        precharges: a.precharges - b.precharges,
+        bus_busy_cycles: a.bus_busy_cycles - b.bus_busy_cycles,
+        queue_wait_cycles: a.queue_wait_cycles - b.queue_wait_cycles,
+    }
+}
+
+fn sub_mech(a: &MechanismStats, b: &MechanismStats) -> MechanismStats {
+    MechanismStats {
+        table_reads: a.table_reads - b.table_reads,
+        table_writes: a.table_writes - b.table_writes,
+        prefetches_requested: a.prefetches_requested - b.prefetches_requested,
+        prefetches_useful: a.prefetches_useful - b.prefetches_useful,
+        sidecar_hits: a.sidecar_hits - b.sidecar_hits,
+        sidecar_misses: a.sidecar_misses - b.sidecar_misses,
+        victims_captured: a.victims_captured - b.victims_captured,
+    }
+}
+
+fn sub_queue(a: &PrefetchQueueStats, b: &PrefetchQueueStats) -> PrefetchQueueStats {
+    PrefetchQueueStats {
+        accepted: a.accepted - b.accepted,
+        discarded: a.discarded - b.discarded,
+        duplicates: a.duplicates - b.duplicates,
     }
 }
 
@@ -173,6 +305,9 @@ pub fn run_one(
     benchmark: &str,
     opts: &SimOptions,
 ) -> Result<RunResult, SimError> {
+    if opts.sampling.is_sampled() {
+        return run_sampled(None, Arc::new(config.clone()), mechanism, benchmark, opts);
+    }
     simulate(
         None,
         Arc::new(config.clone()),
@@ -180,6 +315,7 @@ pub fn run_one(
         mechanism,
         benchmark,
         opts,
+        0,
     )
 }
 
@@ -204,6 +340,9 @@ pub fn run_one_with(
     opts: &SimOptions,
 ) -> Result<RunResult, SimError> {
     if !store.is_enabled() {
+        if opts.sampling.is_sampled() {
+            return run_sampled(None, Arc::clone(config), mechanism, benchmark, opts);
+        }
         return simulate(
             None,
             Arc::clone(config),
@@ -211,20 +350,26 @@ pub fn run_one_with(
             mechanism,
             benchmark,
             opts,
+            0,
         );
     }
     let key = ArtifactStore::memo_key(config, mechanism, benchmark, opts);
     if let Some(hit) = store.memo_get(&key) {
         return Ok((*hit).clone());
     }
-    let result = simulate(
-        Some(store),
-        Arc::clone(config),
-        mechanism.build(),
-        mechanism,
-        benchmark,
-        opts,
-    )?;
+    let result = if opts.sampling.is_sampled() {
+        run_sampled(Some(store), Arc::clone(config), mechanism, benchmark, opts)?
+    } else {
+        simulate(
+            Some(store),
+            Arc::clone(config),
+            mechanism.build(),
+            mechanism,
+            benchmark,
+            opts,
+            0,
+        )?
+    };
     store.memo_put(key, result.clone());
     Ok(result)
 }
@@ -232,6 +377,11 @@ pub fn run_one_with(
 /// Like [`run_one`] but with a caller-constructed mechanism instance —
 /// the hook for parameter studies such as Fig 10's prefetch-queue-size
 /// sweep. `label` tags the result rows.
+///
+/// The [`sampling`](SimOptions::sampling) option is ignored: sampled runs
+/// re-instantiate the mechanism per representative interval, which an
+/// opaque instance cannot support, so custom runs always simulate the
+/// full window.
 ///
 /// # Errors
 ///
@@ -243,12 +393,21 @@ pub fn run_custom(
     benchmark: &str,
     opts: &SimOptions,
 ) -> Result<RunResult, SimError> {
-    simulate(None, Arc::new(config.clone()), mech, label, benchmark, opts)
+    simulate(
+        None,
+        Arc::new(config.clone()),
+        mech,
+        label,
+        benchmark,
+        opts,
+        0,
+    )
 }
 
 /// Like [`run_custom`], but sharing trace and warm artifacts through
 /// `store`. Caller-constructed mechanisms are opaque, so — unlike
-/// [`run_one_with`] — results are **not** memoized; only the
+/// [`run_one_with`] — results are **not** memoized (and, as with
+/// [`run_custom`], the sampling option is ignored); only the
 /// mechanism-independent artifacts are shared.
 ///
 /// # Errors
@@ -263,47 +422,41 @@ pub fn run_custom_with(
     opts: &SimOptions,
 ) -> Result<RunResult, SimError> {
     let store = store.is_enabled().then_some(store);
-    simulate(store, Arc::clone(config), mech, label, benchmark, opts)
+    simulate(store, Arc::clone(config), mech, label, benchmark, opts, 0)
 }
 
-/// The one simulation driver behind every `run_*` entry point.
-///
-/// With a store, the trace is replayed from the shared [`TraceBuffer`]
-/// and the warm phase either restores the shared checkpoint + replays the
-/// recorded mechanism events (mechanisms that opt in via
+/// Builds the warmed system for a run: functional memory initialized,
+/// caches and mechanism tables warmed over `[warm_start, skip)`, and the
+/// instruction stream positioned at `skip`. With a store, the trace comes
+/// from the shared [`TraceBuffer`] (grown to `trace_len`) and the warm
+/// phase either restores the shared checkpoint + replays the recorded
+/// mechanism events (mechanisms that opt in via
 /// [`warm_events_only`](microlib_model::Mechanism::warm_events_only)) or
 /// runs the exact full warm path over the shared trace (everything else).
-/// Without a store, the legacy path: generate, initialize, warm, run.
-fn simulate(
+/// Without a store, the legacy path: generate, initialize, warm.
+#[allow(clippy::too_many_arguments)] // one bundle per warm-phase input
+fn warmed_system(
     store: Option<&ArtifactStore>,
-    config: Arc<SystemConfig>,
-    mech: Box<dyn microlib_model::Mechanism>,
-    label: MechanismKind,
-    benchmark: &str,
+    config: &Arc<SystemConfig>,
+    mem: &mut MemorySystem,
+    warm_replayable: bool,
+    benchmark: &'static str,
     opts: &SimOptions,
-) -> Result<RunResult, SimError> {
-    let profile = benchmarks::by_name(benchmark)
-        .ok_or_else(|| SimError::UnknownBenchmark(benchmark.to_owned()))?;
-    let benchmark: &'static str = profile.name;
-    let mechanism = label;
-    let hardware = mech.hardware();
-    let warm_replayable = mech.warm_events_only();
+    warm_start: u64,
+    trace_len: u64,
+) -> Result<InstStream, SimError> {
     let skip = opts.window.skip;
-
-    let mut mem = MemorySystem::new(Arc::clone(&config), vec![mech])?;
-    mem.set_check_values(opts.check_values);
-
-    let mut stream: InstStream = match store {
+    let stream = match store {
         Some(store) => {
-            let (workload, buffer) = store.trace(benchmark, opts.seed, opts.window.end())?;
+            let (workload, buffer) = store.trace(benchmark, opts.seed, trace_len)?;
             let mut stream = TraceBuffer::replay(&buffer);
-            let warm = if skip > 0 && warm_replayable {
+            let warm = if skip > warm_start && warm_replayable {
                 // Fast path when the store has (or now earns) the shared
                 // checkpoint: restore it and replay only the
                 // mechanism-visible events. The key's first requester
                 // gets `None` and warms in full — capture only pays off
                 // once a state is reused.
-                store.warm_state(benchmark, opts.seed, skip, &config)?
+                store.warm_state(benchmark, opts.seed, skip, warm_start, config)?
             } else {
                 None
             };
@@ -317,19 +470,62 @@ fn simulate(
                     // Exact path over the shared trace (sidecar
                     // mechanisms, first requesters, or nothing to skip).
                     workload.initialize(mem.functional_mut());
-                    warm_loop(&mut mem, &mut stream, skip);
+                    stream.advance_to(warm_start);
+                    warm_loop(mem, &mut stream, skip - warm_start);
                 }
             }
             stream
         }
         None => {
+            let profile = benchmarks::by_name(benchmark).expect("resolved by the caller");
             let workload = Workload::new(profile, opts.seed);
             workload.initialize(mem.functional_mut());
             let mut stream = workload.stream();
-            warm_loop(&mut mem, &mut stream, skip);
+            stream.advance_to(warm_start);
+            warm_loop(mem, &mut stream, skip - warm_start);
             stream
         }
     };
+    Ok(stream)
+}
+
+/// The full-window simulation driver behind every `run_*` entry point.
+///
+/// `warm_start` truncates the functional warm phase to the instructions
+/// in `[warm_start, skip)` — `0` (every full-mode run) warms the whole
+/// prefix. Runs with a bounded warm-up budget pass the window start minus
+/// the budget; instructions before `warm_start` are skipped entirely
+/// (their stores never reach the functional image, which stays
+/// self-consistent for the integrity checker but approximates the true
+/// architectural state — the accuracy trade the budget buys).
+pub(crate) fn simulate(
+    store: Option<&ArtifactStore>,
+    config: Arc<SystemConfig>,
+    mech: Box<dyn microlib_model::Mechanism>,
+    label: MechanismKind,
+    benchmark: &str,
+    opts: &SimOptions,
+    warm_start: u64,
+) -> Result<RunResult, SimError> {
+    let profile = benchmarks::by_name(benchmark)
+        .ok_or_else(|| SimError::UnknownBenchmark(benchmark.to_owned()))?;
+    let benchmark: &'static str = profile.name;
+    let hardware = mech.hardware();
+    let warm_replayable = mech.warm_events_only();
+    let warm_start = warm_start.min(opts.window.skip);
+
+    let mut mem = MemorySystem::new(Arc::clone(&config), vec![mech])?;
+    mem.set_check_values(opts.check_values);
+    let mut stream = warmed_system(
+        store,
+        &config,
+        &mut mem,
+        warm_replayable,
+        benchmark,
+        opts,
+        warm_start,
+        opts.window.end(),
+    )?;
     let start = mem.finish_warmup();
 
     let mut core = OoOCore::new(config.core);
@@ -357,26 +553,227 @@ fn simulate(
         now += 1;
     }
 
-    let core_stats = core.stats();
-    let (queue_l1, queue_l2) = mem.prefetch_queue_stats();
-    Ok(RunResult {
+    let measured = StatsSnapshot::capture(&core, &mem);
+    Ok(result_from(benchmark, label, hardware, &measured))
+}
+
+/// One measured region of a sampled cell's detailed stretch, in committed
+/// instructions relative to the stretch start.
+struct Mark {
+    begin_at: u64,
+    end_at: u64,
+}
+
+/// One contiguous detailed-simulation phase of a sampled cell: fed
+/// `feed` instructions starting at absolute instruction `start`, with
+/// the measured regions (slices) inside it. Stretches are built from the
+/// plan's slice windows; a ramp before each measured region and a tail
+/// after it keep measurement in steady state, and overlapping extents
+/// merge into one stretch.
+struct Stretch {
+    start: u64,
+    feed: u64,
+    marks: Vec<Mark>,
+}
+
+/// Detailed instructions committed before a measured region (fills the
+/// out-of-order window so measurement starts in steady issue).
+const SLICE_RAMP: u64 = 1_024;
+
+/// Detailed instructions fed past a measured region so the pipeline stays
+/// busy while the last measured instructions commit.
+const SLICE_TAIL: u64 = 512;
+
+/// Lays the plan's slice windows out as detailed stretches. `floor` is
+/// the first instruction detailed simulation may touch (the window
+/// start — everything before it belongs to the warm phase).
+fn build_stretches(windows: &[TraceWindow], floor: u64) -> Vec<Stretch> {
+    let mut stretches: Vec<Stretch> = Vec::new();
+    for w in windows {
+        let detail_start = w.skip.saturating_sub(SLICE_RAMP).max(floor);
+        let feed_end = w.end() + SLICE_TAIL;
+        match stretches.last_mut() {
+            // Overlapping or touching extents merge: the previous tail
+            // (or measured region) doubles as this slice's ramp.
+            Some(cur) if detail_start <= cur.start + cur.feed => {
+                cur.feed = cur.feed.max(feed_end - cur.start);
+                cur.marks.push(Mark {
+                    begin_at: w.skip - cur.start,
+                    end_at: w.end() - cur.start,
+                });
+            }
+            _ => stretches.push(Stretch {
+                start: detail_start,
+                feed: feed_end - detail_start,
+                marks: vec![Mark {
+                    begin_at: w.skip - detail_start,
+                    end_at: w.end() - detail_start,
+                }],
+            }),
+        }
+    }
+    stretches
+}
+
+/// The sampled-cell driver: one warm phase to the window start, then one
+/// continuous pass over the trace that alternates **functional
+/// fast-forward** through the gaps with **detailed stretches** over the
+/// plan's slice windows. Caches, the functional memory and the mechanism
+/// evolve across the whole window exactly once (the warm fidelity of the
+/// skip phase, everywhere outside the slices), so slice measurements see
+/// warm state without re-running a prefix per slice.
+///
+/// Returns one measured part per plan point, in plan order, each shaped
+/// like a [`RunResult`] of its slice.
+#[allow(clippy::too_many_arguments)] // mirrors `simulate` plus the plan
+pub(crate) fn simulate_sampled(
+    store: Option<&ArtifactStore>,
+    config: Arc<SystemConfig>,
+    mech: Box<dyn microlib_model::Mechanism>,
+    label: MechanismKind,
+    benchmark: &str,
+    opts: &SimOptions,
+    warm_start: u64,
+    windows: &[TraceWindow],
+) -> Result<Vec<RunResult>, SimError> {
+    let profile = benchmarks::by_name(benchmark)
+        .ok_or_else(|| SimError::UnknownBenchmark(benchmark.to_owned()))?;
+    let benchmark: &'static str = profile.name;
+    let hardware = mech.hardware();
+    let warm_replayable = mech.warm_events_only();
+    let warm_start = warm_start.min(opts.window.skip);
+    let stretches = build_stretches(windows, opts.window.skip);
+    let trace_len = stretches
+        .last()
+        .map(|s| s.start + s.feed)
+        .unwrap_or(opts.window.end());
+
+    let mut mem = MemorySystem::new(Arc::clone(&config), vec![mech])?;
+    mem.set_check_values(opts.check_values);
+    let mut stream = warmed_system(
+        store,
+        &config,
+        &mut mem,
+        warm_replayable,
+        benchmark,
+        opts,
+        warm_start,
+        trace_len,
+    )?;
+
+    let mut parts: Vec<RunResult> = Vec::with_capacity(windows.len());
+    let mut now = mem.finish_warmup();
+    // Gaps between slices apply prefetches functionally instead of
+    // dropping them: a continuous detailed run would have issued them,
+    // and slices measured after a prefetch-starved gap systematically
+    // overstate prefetcher misses. (The prefix warm above stays in the
+    // default drop mode — it must match the shared warm checkpoints.)
+    mem.set_warm_prefetch_fill(true);
+    for stretch in &stretches {
+        // Fast-forward the gap functionally (the same fidelity as the
+        // skip phase), with the warm clock resuming from detailed time.
+        if stretch.start > stream.stream_position() {
+            mem.resume_warmup(now);
+            let gap = stretch.start - stream.stream_position();
+            warm_loop(&mut mem, &mut stream, gap);
+            now = mem.finish_warmup();
+        }
+
+        let mut core = OoOCore::new(config.core);
+        let mut trace = stream.by_ref().take(stretch.feed as usize);
+        let budget = opts.cycle_budget_for(stretch.feed) + now.raw();
+        let mut marks = stretch.marks.iter();
+        let mut next_mark = marks.next();
+        let mut open: Option<StatsSnapshot> = None;
+        loop {
+            let completions = mem.begin_cycle(now);
+            core.cycle(now, &completions, &mut mem, &mut trace);
+            if let Some(error) = mem.integrity_error() {
+                return Err(SimError::Integrity {
+                    benchmark: benchmark.to_owned(),
+                    error,
+                });
+            }
+            // A commit burst can cross a begin and an end boundary in one
+            // cycle; settle all crossed boundaries before continuing.
+            loop {
+                let committed = core.stats().committed;
+                match (&open, next_mark) {
+                    (Some(begin), Some(mark)) if committed >= mark.end_at => {
+                        let measured = begin.delta_from(&StatsSnapshot::capture(&core, &mem));
+                        parts.push(result_from(benchmark, label, hardware.clone(), &measured));
+                        open = None;
+                        next_mark = marks.next();
+                    }
+                    (None, Some(mark)) if committed >= mark.begin_at => {
+                        open = Some(StatsSnapshot::capture(&core, &mem));
+                        // `next_mark` stays: its end still needs closing.
+                    }
+                    _ => break,
+                }
+            }
+            if core.drained() {
+                break;
+            }
+            if now.raw() >= budget {
+                return Err(SimError::Timeout {
+                    benchmark: benchmark.to_owned(),
+                    cycles: budget,
+                });
+            }
+            now += 1;
+        }
+        // A truncated trace can drain the stretch before the last mark
+        // closes; close it at whatever committed (combine weighs parts by
+        // their actual instruction counts).
+        if let Some(begin) = open {
+            let measured = begin.delta_from(&StatsSnapshot::capture(&core, &mem));
+            parts.push(result_from(benchmark, label, hardware.clone(), &measured));
+        }
+        // Quiesce before handing the system back to functional warm-up:
+        // a fill still in flight would otherwise complete *after* the gap
+        // has moved memory on, installing stale data (and its completion
+        // token could collide with the next stretch's fresh core).
+        while !mem.quiescent() {
+            now += 1;
+            let _ = mem.begin_cycle(now);
+            if now.raw() >= budget {
+                return Err(SimError::Timeout {
+                    benchmark: benchmark.to_owned(),
+                    cycles: budget,
+                });
+            }
+        }
+    }
+    Ok(parts)
+}
+
+/// Shapes one measured counter bundle as a [`RunResult`].
+fn result_from(
+    benchmark: &'static str,
+    mechanism: MechanismKind,
+    hardware: HardwareBudget,
+    measured: &StatsSnapshot,
+) -> RunResult {
+    RunResult {
         benchmark,
         mechanism,
         perf: PerfSummary {
-            instructions: core_stats.committed,
-            cycles: core_stats.cycles,
+            instructions: measured.core.committed,
+            cycles: measured.core.cycles,
         },
-        core: core_stats,
-        l1d: mem.l1d_stats(),
-        l1i: mem.l1i_stats(),
-        l2: mem.l2_stats(),
-        memory: mem.memory_stats(),
-        mech_l1: mem.l1_mechanism_stats(),
-        mech_l2: mem.l2_mechanism_stats(),
-        queue_l1,
-        queue_l2,
+        core: measured.core,
+        l1d: measured.l1d,
+        l1i: measured.l1i,
+        l2: measured.l2,
+        memory: measured.memory,
+        mech_l1: measured.mech_l1,
+        mech_l2: measured.mech_l2,
+        queue_l1: measured.queue_l1,
+        queue_l2: measured.queue_l2,
         hardware,
-    })
+        sampling: None,
+    }
 }
 
 /// The skip region warms caches and mechanism tables functionally (the

@@ -18,6 +18,7 @@
 
 use microlib_model::{Addr, LineData};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 const PAGE_WORDS: usize = 512; // 4 KB pages
 const PAGE_SHIFT: u64 = 12;
@@ -26,6 +27,12 @@ const PAGE_SHIFT: u64 = 12;
 ///
 /// Unwritten words read as zero. Addresses are byte addresses; word accesses
 /// use the containing aligned 8-byte word.
+///
+/// Pages are shared **copy-on-write**: cloning a memory (restoring a warm
+/// checkpoint, stamping a workload's pre-built image into a fresh system)
+/// only bumps per-page reference counts, and a page is physically copied
+/// the first time a clone writes to it. Sampled campaigns restore
+/// checkpoints once per slice per mechanism, so cheap clones matter.
 ///
 /// # Examples
 ///
@@ -40,7 +47,7 @@ const PAGE_SHIFT: u64 = 12;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Box<[u64; PAGE_WORDS]>>,
+    pages: HashMap<u64, Arc<[u64; PAGE_WORDS]>>,
 }
 
 impl SparseMemory {
@@ -70,9 +77,12 @@ impl SparseMemory {
         if value == 0 && !self.pages.contains_key(&page) {
             return; // writing zero to an untouched page is a no-op
         }
-        self.pages
+        let page = self
+            .pages
             .entry(page)
-            .or_insert_with(|| Box::new([0; PAGE_WORDS]))[word] = value;
+            .or_insert_with(|| Arc::new([0; PAGE_WORDS]));
+        // Copy-on-write: unshared pages mutate in place.
+        Arc::make_mut(page)[word] = value;
     }
 
     /// Reads a whole line of `line_bytes` starting at the line containing

@@ -266,6 +266,13 @@ pub struct MemorySystem {
     fault_drop_writebacks: bool,
     trace_line: Option<Addr>,
     warming: bool,
+    warm_prefetch_fill: bool,
+    /// Last instruction line the warm path looked up in the L1I. Warm
+    /// instruction fetches are sequential within a basic block, so the
+    /// repeat lookup (a hit that would only re-assert MRU on the line
+    /// that is already MRU) can be skipped exactly; invalidated whenever
+    /// the L1I can change outside `warm_inst`.
+    warm_last_iline: Option<u64>,
     warm_clock: u64,
     l1d_stats_base: CacheStats,
     l1i_stats_base: CacheStats,
@@ -347,6 +354,8 @@ impl MemorySystem {
             check_values: true,
             fault_drop_writebacks: false,
             warming: false,
+            warm_prefetch_fill: false,
+            warm_last_iline: None,
             warm_clock: 0,
             l1d_stats_base: CacheStats::default(),
             l1i_stats_base: CacheStats::default(),
@@ -928,17 +937,21 @@ impl MemorySystem {
         self.warming = true;
         self.warm_clock += 2; // synthetic ~IPC-0.5 clock for decay counters
         self.now = Cycle::new(self.warm_clock);
-        // Instruction side.
+        // Instruction side. Consecutive fetches from the line that is
+        // already MRU skip the lookup — exact (see `warm_last_iline`).
         let iline = pc.line(self.config.l1i.line_bytes);
-        if self.l1i.array.lookup(pc).is_none() {
-            self.l1i.stats.misses += 1;
-            self.warm_l2_fetch(iline.line(self.config.l2.line_bytes), pc, AccessKind::Load);
-            let words = (self.config.l1i.line_bytes / 8) as usize;
-            if !self.l1i.array.contains(iline) {
-                self.l1i
-                    .array
-                    .fill(iline, LineData::zeroed(words), false, false);
+        if self.warm_last_iline != Some(iline.raw()) {
+            if self.l1i.array.lookup(pc).is_none() {
+                self.l1i.stats.misses += 1;
+                self.warm_l2_fetch(iline.line(self.config.l2.line_bytes), pc, AccessKind::Load);
+                let words = (self.config.l1i.line_bytes / 8) as usize;
+                if !self.l1i.array.contains(iline) {
+                    self.l1i
+                        .array
+                        .fill(iline, LineData::zeroed(words), false, false);
+                }
             }
+            self.warm_last_iline = Some(iline.raw());
         }
         self.l1i.stats.loads += 1;
         // Data side.
@@ -948,14 +961,18 @@ impl MemorySystem {
         // Mechanism time-based state (decay counters etc.).
         if let Some(slot) = &mut self.l1_mech {
             slot.mech.tick(Cycle::new(self.warm_clock));
-            slot.queue.clear(); // prefetch issue is a timing behaviour
+            if !self.warm_prefetch_fill {
+                slot.queue.clear(); // prefetch issue is a timing behaviour
+            }
             for spill in slot.mech.drain_spills() {
                 self.apply_writeback_to_l2(spill.line, &spill.data);
             }
         }
         if let Some(slot) = &mut self.l2_mech {
             slot.mech.tick(Cycle::new(self.warm_clock));
-            slot.queue.clear();
+            if !self.warm_prefetch_fill {
+                slot.queue.clear();
+            }
             let spills = slot.mech.drain_spills();
             for spill in spills {
                 self.functional
@@ -963,7 +980,102 @@ impl MemorySystem {
                     .write_line(spill.line, &spill.data);
             }
         }
+        if self.warm_prefetch_fill {
+            self.apply_warm_prefetches();
+        }
         self.warming = false;
+    }
+
+    /// Applies a bounded number of queued prefetch requests functionally
+    /// (no timing): lines are fetched through the warm L2 path and filled
+    /// into their destination, firing the same refill events a detailed
+    /// drain would. The per-instruction caps mirror the detailed drain
+    /// rates (and bound content-directed prefetch cascades).
+    ///
+    /// Only active in [`warm_prefetch_fill`](MemorySystem::set_warm_prefetch_fill)
+    /// mode — sampled simulation's gap fast-forward, where dropping
+    /// prefetches (the plain warm behaviour) would systematically starve
+    /// prefetchers of the cache state a continuous detailed run gives
+    /// them.
+    fn apply_warm_prefetches(&mut self) {
+        for _ in 0..4 {
+            let Some(req) = self.l1_mech.as_mut().and_then(|s| s.queue.pop()) else {
+                break;
+            };
+            if self.l1d.array.peek(req.line)
+                || self
+                    .l1_mech
+                    .as_ref()
+                    .is_some_and(|s| s.mech.holds(req.line))
+            {
+                continue;
+            }
+            let l2_line = req.line.line(self.config.l2.line_bytes);
+            self.warm_l2_fetch(l2_line, Addr::NULL, AccessKind::Load);
+            let data = self
+                .l2
+                .array
+                .read_line(l2_line)
+                .map(|l2data| {
+                    let off = (req.line.offset_in_line(self.config.l2.line_bytes) / 8) as usize;
+                    let words = (self.config.l1d.line_bytes / 8) as usize;
+                    LineData::from_words(&l2data.words()[off..off + words])
+                })
+                .unwrap_or_else(|| {
+                    self.functional
+                        .dram()
+                        .read_line(req.line, self.config.l1d.line_bytes)
+                });
+            self.l1d.stats.prefetch_fills += 1;
+            if req.destination == PrefetchDestination::Cache {
+                let victim = self.l1d.array.fill(req.line, data, false, true);
+                if let Some(v) = victim {
+                    self.handle_l1_victim(v);
+                }
+            }
+            if let Some(slot) = &mut self.l1_mech {
+                let ev = RefillEvent {
+                    now: Cycle::new(self.warm_clock),
+                    line: req.line,
+                    data,
+                    cause: RefillCause::Prefetch,
+                };
+                slot.mech.on_refill(&ev, &mut slot.queue);
+            }
+        }
+        for _ in 0..2 {
+            let Some(req) = self.l2_mech.as_mut().and_then(|s| s.queue.pop()) else {
+                break;
+            };
+            if self.l2.array.peek(req.line) {
+                continue;
+            }
+            let data = self.functional.dram().read_line(req.line, 64);
+            self.l2.stats.prefetch_fills += 1;
+            let victim = self.l2.array.fill(req.line, data, false, true);
+            if let Some(v) = victim {
+                self.handle_l2_victim(v);
+            }
+            if let Some(slot) = &mut self.l2_mech {
+                let ev = RefillEvent {
+                    now: Cycle::new(self.warm_clock),
+                    line: req.line,
+                    data,
+                    cause: RefillCause::Prefetch,
+                };
+                slot.mech.on_refill(&ev, &mut slot.queue);
+            }
+        }
+    }
+
+    /// Switches functional warm-up between dropping queued prefetches (the
+    /// default — prefetch issue is a timing behaviour, and the shared warm
+    /// checkpoints are captured this way) and applying them functionally
+    /// (sampled simulation's gap fast-forward, which would otherwise
+    /// systematically starve prefetchers of the cache state a continuous
+    /// detailed run gives them).
+    pub fn set_warm_prefetch_fill(&mut self, on: bool) {
+        self.warm_prefetch_fill = on;
     }
 
     fn warm_data_access(&mut self, pc: Addr, addr: Addr, kind: AccessKind, store_value: u64) {
@@ -1091,6 +1203,19 @@ impl MemorySystem {
         }
     }
 
+    /// Re-enters functional warm mode after a detailed phase — sampled
+    /// simulation's fast-forward between representative intervals. The
+    /// synthetic warm clock resumes from `now` (the detailed clock), so
+    /// mechanism decay state never sees time move backwards; call
+    /// [`finish_warmup`](MemorySystem::finish_warmup) again before the
+    /// next detailed phase.
+    pub fn resume_warmup(&mut self, now: Cycle) {
+        self.warm_clock = self.warm_clock.max(now.raw());
+        // Detailed simulation moved the L1I; the warm fetch filter must
+        // re-observe.
+        self.warm_last_iline = None;
+    }
+
     /// Ends the warmup phase: statistics gathered so far are excluded from
     /// the counters the accessors report, and the detailed simulation can
     /// start at the returned cycle.
@@ -1146,6 +1271,7 @@ impl MemorySystem {
         self.l2.stats = checkpoint.l2_stats;
         self.warm_clock = checkpoint.warm_clock;
         self.now = Cycle::new(self.warm_clock);
+        self.warm_last_iline = None;
     }
 
     /// Replays a recorded warm event stream into the attached mechanisms,

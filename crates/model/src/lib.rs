@@ -47,5 +47,5 @@ pub use event::{
     PrefetchRequest, ProbeResult, RefillCause, RefillEvent, Spill, VictimAction,
 };
 pub use mechanism::{BaseMechanism, HardwareBudget, Mechanism, MechanismStats, SramTable};
-pub use stats::{CacheStats, MemoryStats, PerfSummary};
+pub use stats::{CacheStats, MemoryStats, PerfSummary, SampledPoint, SamplingEstimate};
 pub use types::{AccessKind, Addr, AttachPoint, Cycle, LineData};

@@ -173,6 +173,116 @@ pub fn std_dev(values: &[f64]) -> Option<f64> {
     Some(var.sqrt())
 }
 
+/// Weighted arithmetic mean of `(weight, value)` pairs.
+///
+/// Returns `None` for an empty slice or non-positive total weight.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_model::stats::weighted_mean;
+///
+/// let m = weighted_mean(&[(0.75, 2.0), (0.25, 6.0)]).unwrap();
+/// assert!((m - 3.0).abs() < 1e-12);
+/// ```
+pub fn weighted_mean(pairs: &[(f64, f64)]) -> Option<f64> {
+    let total: f64 = pairs.iter().map(|(w, _)| w).sum();
+    if pairs.is_empty() || total <= 0.0 {
+        return None;
+    }
+    Some(pairs.iter().map(|(w, v)| w * v).sum::<f64>() / total)
+}
+
+/// Weighted population standard deviation of `(weight, value)` pairs —
+/// the dispersion of the values around their [`weighted_mean`].
+///
+/// Returns `None` under the same conditions as [`weighted_mean`].
+pub fn weighted_std_dev(pairs: &[(f64, f64)]) -> Option<f64> {
+    let m = weighted_mean(pairs)?;
+    let total: f64 = pairs.iter().map(|(w, _)| w).sum();
+    let var = pairs
+        .iter()
+        .map(|(w, v)| w * (v - m) * (v - m))
+        .sum::<f64>()
+        / total;
+    Some(var.sqrt())
+}
+
+/// Relative margin added to the sampling error bound to cover the error
+/// sources the between-cluster dispersion cannot see: the representative
+/// interval deviating from its cluster mean, pipeline fill/drain at slice
+/// boundaries, and extrapolation over a partial trailing interval.
+pub const WITHIN_CLUSTER_MARGIN: f64 = 0.02;
+
+/// One simulated representative interval of a sampled run.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SampledPoint {
+    /// Interval index within the sampled region (0 = the first interval
+    /// after the region start).
+    pub interval: usize,
+    /// Cluster weight (fraction of all profiled intervals this point
+    /// stands for; weights over a run sum to 1).
+    pub weight: f64,
+    /// Cycles per instruction measured over the interval's detailed slice.
+    pub cpi: f64,
+}
+
+/// How a sampled run's whole-window estimate was reconstructed: the
+/// simulated representative intervals, the weighted-CPI estimate, and a
+/// heuristic error bound.
+///
+/// The bound is the weighted between-cluster standard deviation of the
+/// per-interval CPIs plus [`WITHIN_CLUSTER_MARGIN`] of the estimate —
+/// clusters that disagree strongly make the extrapolation less
+/// trustworthy, and the margin covers within-cluster variation that
+/// simulating one representative per cluster cannot measure. It is a
+/// reported confidence figure, not a statistical guarantee.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_model::stats::{SampledPoint, SamplingEstimate};
+///
+/// let est = SamplingEstimate::from_points(vec![
+///     SampledPoint { interval: 1, weight: 0.5, cpi: 1.0 },
+///     SampledPoint { interval: 6, weight: 0.5, cpi: 3.0 },
+/// ]);
+/// assert!((est.cpi - 2.0).abs() < 1e-12);
+/// assert!(est.cpi_error_bound >= 1.0, "clusters disagree by ±1 CPI");
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SamplingEstimate {
+    /// The simulated representative intervals, in interval order.
+    pub points: Vec<SampledPoint>,
+    /// Weighted whole-window CPI estimate.
+    pub cpi: f64,
+    /// Absolute CPI error bound on the estimate (see the type docs).
+    pub cpi_error_bound: f64,
+}
+
+impl SamplingEstimate {
+    /// Builds the estimate from simulated points (weighted mean + bound).
+    pub fn from_points(points: Vec<SampledPoint>) -> Self {
+        let pairs: Vec<(f64, f64)> = points.iter().map(|p| (p.weight, p.cpi)).collect();
+        let cpi = weighted_mean(&pairs).unwrap_or(0.0);
+        let spread = weighted_std_dev(&pairs).unwrap_or(0.0);
+        SamplingEstimate {
+            points,
+            cpi,
+            cpi_error_bound: spread + WITHIN_CLUSTER_MARGIN * cpi,
+        }
+    }
+
+    /// The error bound relative to the estimate (e.g. `0.03` = ±3%).
+    pub fn relative_error_bound(&self) -> f64 {
+        if self.cpi == 0.0 {
+            0.0
+        } else {
+            self.cpi_error_bound / self.cpi
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +328,31 @@ mod tests {
         assert!((fast.speedup_over(&base) - 2.0).abs() < 1e-12);
         assert!((base.speedup_over(&base) - 1.0).abs() < 1e-12);
         assert_eq!(PerfSummary::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn weighted_stats() {
+        assert!(weighted_mean(&[]).is_none());
+        assert!(weighted_mean(&[(0.0, 1.0)]).is_none());
+        let pairs = [(0.25, 4.0), (0.75, 8.0)];
+        assert!((weighted_mean(&pairs).unwrap() - 7.0).abs() < 1e-12);
+        // Spread of {4 (w .25), 8 (w .75)} around 7: sqrt(.25*9 + .75*1) = sqrt(3).
+        assert!((weighted_std_dev(&pairs).unwrap() - 3.0_f64.sqrt()).abs() < 1e-12);
+        // Unnormalized weights are normalized.
+        let scaled = [(1.0, 4.0), (3.0, 8.0)];
+        assert!((weighted_mean(&scaled).unwrap() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_estimate_single_point_has_floor_bound() {
+        let est = SamplingEstimate::from_points(vec![SampledPoint {
+            interval: 3,
+            weight: 1.0,
+            cpi: 2.0,
+        }]);
+        assert!((est.cpi - 2.0).abs() < 1e-12);
+        assert!((est.cpi_error_bound - WITHIN_CLUSTER_MARGIN * 2.0).abs() < 1e-12);
+        assert!((est.relative_error_bound() - WITHIN_CLUSTER_MARGIN).abs() < 1e-12);
     }
 
     #[test]

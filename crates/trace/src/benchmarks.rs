@@ -144,6 +144,14 @@ pub const GHB_SELECTION: [&str; 12] = [
     "wupwise",
 ];
 
+/// Strongly-phased synthetic profiles (not SPEC models and not part of
+/// [`NAMES`] or the paper's campaign): each alternates sharply different
+/// execution phases so BBV clustering has real structure to find. They
+/// exercise the SimPoint sampling pipeline — `tests/sampling.rs` checks
+/// that sampled and full simulation agree on them within the reported
+/// error bound.
+pub const PHASED_SYNTHETICS: [&str; 3] = ["pulse", "drift", "strobe"];
+
 /// Builds the profile for one benchmark.
 ///
 /// # Examples
@@ -849,6 +857,112 @@ pub fn by_name(name: &str) -> Option<BenchmarkProfile> {
             112,
             0.20,
         ),
+        // ---------------------- phased synthetics ---------------------
+        // (see PHASED_SYNTHETICS — sampling-pipeline workloads, not SPEC)
+        "pulse" => profile(
+            "pulse",
+            Suite::Fp,
+            vec![
+                // Phase 0: memory-bound streaming burst — long strided
+                // sweeps far beyond L2, low ILP pressure on the cache.
+                phase(
+                    0.34,
+                    0.10,
+                    0.75,
+                    0.10,
+                    16,
+                    vec![
+                        strided(32, 4 * MB, 2.5),
+                        strided(-64, 3 * MB, 1.5),
+                        hot(6 * KB, 1.5),
+                    ],
+                ),
+                // Phase 1: cache-resident compute — almost everything
+                // hits L1, CPI drops by multiples vs phase 0.
+                phase(
+                    0.18,
+                    0.06,
+                    0.70,
+                    0.16,
+                    12,
+                    vec![hot(4 * KB, 6.0), strided(8, 16 * KB, 2.0)],
+                ),
+            ],
+            vec![0, 1],
+            0.010,
+            4.5,
+            48,
+            0.10,
+        ),
+        "drift" => profile(
+            "drift",
+            Suite::Int,
+            vec![
+                // Phase 0: serialized pointer chasing (latency-bound).
+                phase(
+                    0.33,
+                    0.08,
+                    0.0,
+                    0.04,
+                    8,
+                    vec![chase(24_000, 64, 8, 0, true, 2.5), hot(6 * KB, 2.0)],
+                ),
+                // Phase 1: regular strides (prefetcher-friendly).
+                phase(
+                    0.30,
+                    0.12,
+                    0.0,
+                    0.05,
+                    10,
+                    vec![strided(64, 2 * MB, 2.5), hot(6 * KB, 2.0)],
+                ),
+                // Phase 2: random scatter (nothing helps but capacity).
+                phase(
+                    0.31,
+                    0.11,
+                    0.0,
+                    0.04,
+                    7,
+                    vec![random(MB, 1.5), hot(6 * KB, 2.0)],
+                ),
+            ],
+            vec![0, 1, 2, 1, 0, 2],
+            0.035,
+            2.8,
+            96,
+            0.20,
+        ),
+        "strobe" => profile(
+            "strobe",
+            Suite::Int,
+            vec![
+                // Phase 0: a long repeating miss sequence (Markov/TCP
+                // learnable) over a large footprint.
+                phase(
+                    0.31,
+                    0.11,
+                    0.0,
+                    0.04,
+                    8,
+                    vec![repeating(2400, 2 * MB, 0.03, 2.2), hot(6 * KB, 2.5)],
+                ),
+                // Phase 1: hostile random churn that evicts what phase 0
+                // learned.
+                phase(
+                    0.29,
+                    0.13,
+                    0.0,
+                    0.04,
+                    7,
+                    vec![random(1536 * KB, 1.2), hot(6 * KB, 2.5)],
+                ),
+            ],
+            vec![0, 0, 1],
+            0.040,
+            3.0,
+            72,
+            0.25,
+        ),
         _ => return None,
     };
     Some(p)
@@ -931,6 +1045,26 @@ mod tests {
             |s| matches!(s, StreamSpec::PointerChase { decoy_pointers, .. } if *decoy_pointers > 0),
         );
         assert!(found);
+    }
+
+    #[test]
+    fn phased_synthetics_validate_and_stay_out_of_the_campaign() {
+        for name in PHASED_SYNTHETICS {
+            let p = by_name(name).unwrap_or_else(|| panic!("{name} missing"));
+            p.validate().unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(
+                !NAMES.contains(&name),
+                "{name} must not join the 26-benchmark campaign"
+            );
+            assert!(
+                p.phases.len() >= 2,
+                "{name} must have multiple distinct phases"
+            );
+            assert!(
+                p.phase_pattern.len() >= 2,
+                "{name} must alternate between phases"
+            );
+        }
     }
 
     #[test]

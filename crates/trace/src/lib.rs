@@ -38,6 +38,8 @@ pub use bbv::{BbvInterval, BbvProfiler};
 pub use buffer::TraceBuffer;
 pub use inst::{BranchInfo, MemRef, OpClass, TraceInst};
 pub use profile::{BenchmarkProfile, PhaseProfile, StreamSpec, Suite, FREQUENT_VALUES};
-pub use simpoint::{choose_simpoints, primary_simpoint, SimPoint};
+pub use simpoint::{
+    choose_simpoints, choose_simpoints_with_probes, primary_simpoint, SamplingPlan, SimPoint,
+};
 pub use window::TraceWindow;
 pub use workload::{InstStream, Workload, BLOCK_CODE_BYTES, CODE_BASE, DATA_BASE, HEAP_BASE};

@@ -7,6 +7,9 @@
 //! the synthetic workloads the same way and Fig 11 compares the result
 //! against arbitrary skip/simulate windows.
 
+use crate::bbv::BbvProfiler;
+use crate::window::TraceWindow;
+use crate::workload::InstStream;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -193,15 +196,31 @@ pub fn bic_score(points: &[Vec<f64>], km: &KMeans) -> f64 {
 /// assert!((total - 1.0).abs() < 1e-9);
 /// ```
 pub fn choose_simpoints(vectors: &[Vec<f64>], max_k: usize, seed: u64) -> Vec<SimPoint> {
-    if vectors.is_empty() {
-        return Vec::new();
-    }
-    let projected = project(vectors, 15, seed);
+    choose_points(vectors, max_k, seed, false)
+}
+
+/// [`choose_simpoints`] plus a **probe** per multi-member cluster: the
+/// member *farthest* from the centroid is simulated too, and representative
+/// and probe each carry half the cluster weight. The two-point estimate
+/// approximates the cluster's mean behaviour instead of betting on one
+/// interval (phase-transition intervals share a cluster's basic blocks but
+/// not its performance), and the rep-vs-probe spread gives downstream
+/// error bounds real within-cluster evidence.
+pub fn choose_simpoints_with_probes(
+    vectors: &[Vec<f64>],
+    max_k: usize,
+    seed: u64,
+) -> Vec<SimPoint> {
+    choose_points(vectors, max_k, seed, true)
+}
+
+/// The BIC-selected clustering underlying both choosers.
+fn best_clustering(projected: &[Vec<f64>], max_k: usize, seed: u64) -> KMeans {
     let max_k = max_k.clamp(1, projected.len());
     let runs: Vec<KMeans> = (1..=max_k)
-        .map(|k| kmeans(&projected, k, seed ^ (k as u64) << 32))
+        .map(|k| kmeans(projected, k, seed ^ (k as u64) << 32))
         .collect();
-    let scores: Vec<f64> = runs.iter().map(|r| bic_score(&projected, r)).collect();
+    let scores: Vec<f64> = runs.iter().map(|r| bic_score(projected, r)).collect();
     let best = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let worst = scores.iter().cloned().fold(f64::INFINITY, f64::min);
     let threshold = if best > worst {
@@ -213,36 +232,61 @@ pub fn choose_simpoints(vectors: &[Vec<f64>], max_k: usize, seed: u64) -> Vec<Si
         .iter()
         .position(|s| *s >= threshold)
         .unwrap_or(scores.len() - 1);
-    let km = &runs[chosen];
+    runs.into_iter().nth(chosen).expect("chosen is in range")
+}
+
+fn choose_points(vectors: &[Vec<f64>], max_k: usize, seed: u64, probes: bool) -> Vec<SimPoint> {
+    if vectors.is_empty() {
+        return Vec::new();
+    }
+    let projected = project(vectors, 15, seed);
+    let km = best_clustering(&projected, max_k, seed);
 
     let total = projected.len() as f64;
-    (0..km.centroids.len())
-        .filter_map(|c| {
-            let members: Vec<usize> = km
-                .assignment
+    let mut points = Vec::new();
+    for c in 0..km.centroids.len() {
+        let members: Vec<usize> = km
+            .assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| **a == c)
+            .map(|(i, _)| i)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        let by_dist = |&a: &usize, &b: &usize| {
+            sq_dist(&projected[a], &km.centroids[c])
+                .partial_cmp(&sq_dist(&projected[b], &km.centroids[c]))
+                .expect("finite")
+        };
+        let rep = *members
+            .iter()
+            .min_by(|a, b| by_dist(a, b))
+            .expect("nonempty");
+        let weight = members.len() as f64 / total;
+        if probes && members.len() >= 2 {
+            let probe = *members
                 .iter()
-                .enumerate()
-                .filter(|(_, a)| **a == c)
-                .map(|(i, _)| i)
-                .collect();
-            if members.is_empty() {
-                return None;
-            }
-            let rep = members
-                .iter()
-                .copied()
-                .min_by(|&a, &b| {
-                    sq_dist(&projected[a], &km.centroids[c])
-                        .partial_cmp(&sq_dist(&projected[b], &km.centroids[c]))
-                        .expect("finite")
-                })
-                .expect("nonempty");
-            Some(SimPoint {
+                .filter(|&&m| m != rep)
+                .max_by(|a, b| by_dist(a, b))
+                .expect("two members");
+            points.push(SimPoint {
                 interval: rep,
-                weight: members.len() as f64 / total,
-            })
-        })
-        .collect()
+                weight: weight / 2.0,
+            });
+            points.push(SimPoint {
+                interval: probe,
+                weight: weight / 2.0,
+            });
+        } else {
+            points.push(SimPoint {
+                interval: rep,
+                weight,
+            });
+        }
+    }
+    points
 }
 
 /// The single most representative interval (largest-weight simpoint) — the
@@ -251,6 +295,144 @@ pub fn primary_simpoint(vectors: &[Vec<f64>], max_k: usize, seed: u64) -> Option
     choose_simpoints(vectors, max_k, seed)
         .into_iter()
         .max_by(|a, b| a.weight.partial_cmp(&b.weight).expect("finite weights"))
+}
+
+/// A complete SimPoint sampling plan for one trace region: which
+/// representative intervals to simulate in detail and with what weights.
+///
+/// This is the first-class face of the BBV → clustering → selection
+/// pipeline: [`SamplingPlan::profile`] consumes an instruction stream,
+/// profiles basic-block vectors over the region, clusters them and keeps
+/// a weighted representative — plus, for multi-member clusters, a probe
+/// (see [`choose_simpoints_with_probes`]) — per cluster. The plan's
+/// [`windows`] are absolute `skip/simulate` windows ready to hand to a
+/// simulator; the weights always sum to 1 (property-tested in
+/// `tests/properties.rs`).
+///
+/// When the region is shorter than two intervals there is nothing to
+/// cluster; the plan degrades to a single full-weight point covering the
+/// whole region, so sampled and full simulation coincide.
+///
+/// [`windows`]: SamplingPlan::windows
+///
+/// # Examples
+///
+/// ```
+/// use microlib_trace::{benchmarks, SamplingPlan, TraceWindow, Workload};
+///
+/// let w = Workload::new(benchmarks::by_name("gcc").unwrap(), 7);
+/// let region = TraceWindow::new(25_000, 100_000);
+/// let plan = SamplingPlan::profile(w.stream(), region, 10_000, 4, 7);
+/// let total: f64 = plan.points().iter().map(|p| p.weight).sum();
+/// assert!((total - 1.0).abs() < 1e-9);
+/// for (window, weight) in plan.windows() {
+///     assert!(window.skip >= region.skip && window.end() <= region.end());
+///     assert!(weight > 0.0);
+/// }
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct SamplingPlan {
+    region: TraceWindow,
+    interval: u64,
+    points: Vec<SimPoint>,
+}
+
+impl SamplingPlan {
+    /// Profiles `stream` over `region`, clusters the per-interval basic
+    /// block vectors (at most `max_clusters`, BIC-selected) and returns
+    /// the chosen representative intervals, sorted by position.
+    ///
+    /// `stream` must be positioned at (or before) the region start; the
+    /// plan fast-forwards it to `region.skip` (O(1) for replay cursors)
+    /// and consumes one region's worth of instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` or `max_clusters` is zero, or if the stream is
+    /// already past the region start.
+    pub fn profile(
+        mut stream: InstStream,
+        region: TraceWindow,
+        interval: u64,
+        max_clusters: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(interval > 0, "sampling interval must be positive");
+        assert!(max_clusters > 0, "need at least one cluster");
+        let n_intervals = region.simulate / interval;
+        if n_intervals < 2 {
+            // Nothing to cluster: one full-weight point covering the
+            // whole region (sampled simulation == full simulation).
+            return SamplingPlan {
+                region,
+                interval: region.simulate,
+                points: vec![SimPoint {
+                    interval: 0,
+                    weight: 1.0,
+                }],
+            };
+        }
+        stream.advance_to(region.skip);
+        let mut profiler = BbvProfiler::new(interval);
+        for inst in stream.take((n_intervals * interval) as usize) {
+            profiler.observe(&inst);
+        }
+        let vectors = BbvProfiler::to_matrix(profiler.intervals());
+        let mut points = choose_simpoints_with_probes(&vectors, max_clusters, seed);
+        points.sort_by_key(|p| p.interval);
+        SamplingPlan {
+            region,
+            interval,
+            points,
+        }
+    }
+
+    /// The region the plan samples.
+    pub fn region(&self) -> TraceWindow {
+        self.region
+    }
+
+    /// Length of one interval in instructions (equals the region length
+    /// for degenerate single-point plans).
+    pub fn interval(&self) -> u64 {
+        self.interval
+    }
+
+    /// The chosen representative intervals, sorted by position.
+    pub fn points(&self) -> &[SimPoint] {
+        &self.points
+    }
+
+    /// Absolute trace windows to simulate in detail, with their weights,
+    /// in position order.
+    pub fn windows(&self) -> impl Iterator<Item = (TraceWindow, f64)> + '_ {
+        self.points.iter().map(move |p| {
+            (
+                TraceWindow::new(
+                    self.region.skip + p.interval as u64 * self.interval,
+                    self.interval,
+                ),
+                p.weight,
+            )
+        })
+    }
+
+    /// Instructions the plan simulates in detail (versus
+    /// `region.simulate` for a full run).
+    pub fn detailed_instructions(&self) -> u64 {
+        self.points.len() as u64 * self.interval
+    }
+
+    /// Detailed-simulation work reduction versus a full run of the region
+    /// (`2.0` = half the instructions simulated in detail).
+    pub fn work_reduction(&self) -> f64 {
+        let detailed = self.detailed_instructions();
+        if detailed == 0 {
+            1.0
+        } else {
+            self.region.simulate as f64 / detailed as f64
+        }
+    }
 }
 
 #[cfg(test)]
@@ -335,5 +517,64 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn kmeans_rejects_bad_k() {
         kmeans(&[vec![1.0]], 2, 0);
+    }
+
+    #[test]
+    fn plan_finds_phase_structure() {
+        use crate::benchmarks;
+        use crate::workload::Workload;
+        // gcc alternates phases [0,1,2,1] every 25k instructions; a plan
+        // over 8 aligned intervals must keep more than one representative
+        // and weight them over the whole region.
+        let w = Workload::new(benchmarks::by_name("gcc").unwrap(), 5);
+        let region = TraceWindow::new(0, 200_000);
+        let plan = SamplingPlan::profile(w.stream(), region, 25_000, 4, 5);
+        assert!(plan.points().len() >= 2, "gcc has multiple phases");
+        let total: f64 = plan.points().iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // Even with per-cluster probes, sampling beats full simulation.
+        assert!(
+            plan.detailed_instructions() < region.simulate,
+            "sampling must simulate less than the full region ({} of {})",
+            plan.detailed_instructions(),
+            region.simulate
+        );
+        assert!(plan.work_reduction() > 1.0);
+        // Windows are in position order, inside the region, aligned.
+        let mut last = 0;
+        for (win, weight) in plan.windows() {
+            assert!(win.skip >= last);
+            assert!(win.end() <= region.end());
+            assert_eq!((win.skip - region.skip) % 25_000, 0);
+            assert!(weight > 0.0);
+            last = win.skip;
+        }
+    }
+
+    #[test]
+    fn degenerate_region_gets_single_full_point() {
+        use crate::benchmarks;
+        use crate::workload::Workload;
+        let w = Workload::new(benchmarks::by_name("swim").unwrap(), 1);
+        let region = TraceWindow::new(4_000, 3_000);
+        // interval > region: one point covering the whole region.
+        let plan = SamplingPlan::profile(w.stream(), region, 10_000, 4, 1);
+        assert_eq!(plan.points().len(), 1);
+        assert_eq!(plan.interval(), 3_000);
+        let (win, weight) = plan.windows().next().unwrap();
+        assert_eq!(win, region);
+        assert!((weight - 1.0).abs() < 1e-12);
+        assert!((plan.work_reduction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn plan_is_seed_deterministic() {
+        use crate::benchmarks;
+        use crate::workload::Workload;
+        let w = Workload::new(benchmarks::by_name("gcc").unwrap(), 9);
+        let region = TraceWindow::new(10_000, 100_000);
+        let a = SamplingPlan::profile(w.stream(), region, 10_000, 4, 42);
+        let b = SamplingPlan::profile(w.stream(), region, 10_000, 4, 42);
+        assert_eq!(a, b);
     }
 }

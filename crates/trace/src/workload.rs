@@ -100,7 +100,11 @@ pub struct Workload {
     profile: BenchmarkProfile,
     seed: u64,
     phases: Vec<ConcretePhase>,
-    init_words: Arc<Vec<(u64, u64)>>,
+    /// The initial memory image, built once at instantiation. `initialize`
+    /// stamps copy-on-write clones of it into fresh systems, so laying out
+    /// multi-megabyte structures is paid once per workload, not once per
+    /// run (sampled campaigns initialize one system per slice).
+    image: Arc<FunctionalMemory>,
 }
 
 impl Workload {
@@ -278,11 +282,15 @@ impl Workload {
             });
         }
 
+        let mut image = FunctionalMemory::new();
+        for (addr, value) in &init_words {
+            image.initialize_word(Addr::new(*addr), *value);
+        }
         Workload {
             profile,
             seed,
             phases,
-            init_words: Arc::new(init_words),
+            image: Arc::new(image),
         }
     }
 
@@ -302,11 +310,12 @@ impl Workload {
     }
 
     /// Writes the workload's initial memory image (both architectural and
-    /// DRAM copies) into `memory`. Call once before simulation.
+    /// DRAM copies) into `memory`. Call once, on a fresh memory, before
+    /// simulation: the pre-built image **replaces** the current contents
+    /// (a cheap copy-on-write clone — pages are only copied when the
+    /// simulation later writes them).
     pub fn initialize(&self, memory: &mut FunctionalMemory) {
-        for (addr, value) in self.init_words.iter() {
-            memory.initialize_word(Addr::new(*addr), *value);
-        }
+        *memory = (*self.image).clone();
     }
 
     /// Creates the deterministic instruction stream (infinite; `take` what

@@ -8,7 +8,7 @@
 use microlib::report::text_table;
 use microlib::{
     run_custom, run_custom_with, run_one, run_one_with, ArtifactStore, Campaign, CampaignReport,
-    ExperimentConfig, RunResult, SimOptions,
+    ExperimentConfig, RunResult, SamplingMode, SimOptions,
 };
 use microlib_mech::{MechanismKind, TagCorrelatingPrefetcher};
 use microlib_model::SystemConfig;
@@ -110,6 +110,7 @@ fn campaign_config() -> ExperimentConfig {
         window: TraceWindow::new(2_000, 1_500),
         seed: 0xC0FFEE,
         threads: 2,
+        sampling: SamplingMode::Full,
     }
 }
 
@@ -224,12 +225,12 @@ fn warm_path_cost_breakdown() {
         let store = ArtifactStore::new();
         store.trace(bench, 0xC0FFEE, skip + 100_000).unwrap();
         assert!(store
-            .warm_state(bench, 0xC0FFEE, skip, &config)
+            .warm_state(bench, 0xC0FFEE, skip, 0, &config)
             .unwrap()
             .is_none());
         let t = Instant::now();
         let ws = store
-            .warm_state(bench, 0xC0FFEE, skip, &config)
+            .warm_state(bench, 0xC0FFEE, skip, 0, &config)
             .unwrap()
             .expect("second request captures");
         let t_capture_warm = t.elapsed();

@@ -5,7 +5,7 @@
 //! perturb science output).
 
 use microlib::report::text_table;
-use microlib::{Campaign, CampaignReport, ExperimentConfig};
+use microlib::{Campaign, CampaignReport, ExperimentConfig, SamplingMode};
 use microlib_mech::MechanismKind;
 use microlib_model::SystemConfig;
 use microlib_trace::TraceWindow;
@@ -18,6 +18,7 @@ fn smoke_config(threads: usize) -> ExperimentConfig {
         window: TraceWindow::new(1_000, 2_000),
         seed: 0xC0FFEE,
         threads,
+        sampling: SamplingMode::Full,
     }
 }
 

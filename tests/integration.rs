@@ -4,7 +4,9 @@
 //! Windows are kept small so the suite stays debug-build friendly; the
 //! experiment binaries in `crates/bench` are the full-scale runs.
 
-use microlib::{run_custom, run_matrix, run_one, ExperimentConfig, SimError, SimOptions};
+use microlib::{
+    run_custom, run_matrix, run_one, ExperimentConfig, SamplingMode, SimError, SimOptions,
+};
 use microlib_mech::{DbcpVariant, DeadBlockPrefetcher, MechanismKind};
 use microlib_model::{FidelityConfig, SystemConfig};
 use microlib_trace::{benchmarks, TraceWindow};
@@ -177,6 +179,7 @@ fn matrix_base_column_is_unity() {
         window: TraceWindow::new(5_000, 3_000),
         seed: 3,
         threads: 0,
+        sampling: SamplingMode::Full,
     };
     let m = run_matrix(&cfg).unwrap();
     for b in ["swim", "gzip"] {

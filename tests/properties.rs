@@ -329,3 +329,46 @@ fn end_to_end_integrity() {
         }
     }
 }
+
+/// For arbitrary (benchmark, seed, region, interval, cluster cap), a
+/// sampling plan's weights always sum to 1, its windows stay inside the
+/// region, and re-planning with the same inputs is bit-identical
+/// (clustering is seed-deterministic).
+#[test]
+fn sampling_plan_weights_sum_to_one_and_deterministic() {
+    use microlib_trace::{benchmarks, SamplingPlan, TraceWindow, Workload};
+    let names_with_synthetics: Vec<&str> = benchmarks::NAMES
+        .iter()
+        .chain(benchmarks::PHASED_SYNTHETICS.iter())
+        .copied()
+        .collect();
+    for case in 0..24 {
+        let mut rng = case_rng("sampling_plan", case);
+        let seed = rng.gen::<u64>();
+        let bench = names_with_synthetics[rng.gen_range(0usize..names_with_synthetics.len())];
+        let region = TraceWindow::new(rng.gen_range(0u64..30_000), rng.gen_range(1u64..60_000));
+        let interval = rng.gen_range(500u64..20_000);
+        let max_clusters = rng.gen_range(1usize..6);
+        let workload = Workload::new(benchmarks::by_name(bench).unwrap(), seed);
+        let tag = format!("case {case}: {bench}/{seed:#x}/{region}/{interval}/{max_clusters}");
+
+        let plan = SamplingPlan::profile(workload.stream(), region, interval, max_clusters, seed);
+        assert!(!plan.points().is_empty(), "{tag}: empty plan");
+        // At most a representative + probe per cluster.
+        assert!(plan.points().len() <= 2 * max_clusters.max(1), "{tag}");
+        let total: f64 = plan.points().iter().map(|p| p.weight).sum();
+        assert!((total - 1.0).abs() < 1e-9, "{tag}: weights sum to {total}");
+        let mut last_start = 0;
+        for (window, weight) in plan.windows() {
+            assert!(weight > 0.0, "{tag}: non-positive weight");
+            assert!(window.skip >= region.skip, "{tag}: window before region");
+            assert!(window.end() <= region.end(), "{tag}: window past region");
+            assert!(window.skip >= last_start, "{tag}: windows out of order");
+            last_start = window.skip;
+        }
+        assert!(plan.detailed_instructions() <= region.simulate, "{tag}");
+
+        let again = SamplingPlan::profile(workload.stream(), region, interval, max_clusters, seed);
+        assert_eq!(plan, again, "{tag}: plan not seed-deterministic");
+    }
+}
