@@ -8,13 +8,15 @@
 //! [`ArtifactStore`](microlib::ArtifactStore) shares traces, warm-state
 //! checkpoints and duplicated cells across the rest. Captured outputs
 //! contain only deterministic content (progress and timing go to stderr),
-//! so `results/` is bit-identical for any `MICROLIB_THREADS` value and
-//! with artifact sharing on or off (`MICROLIB_ARTIFACTS=off`).
+//! so `results/` is bit-identical for any `MICROLIB_THREADS` value, with
+//! artifact sharing on or off (`MICROLIB_ARTIFACTS=off`), and with the
+//! disk cache cold, warm or disabled.
 //!
 //! # Usage
 //!
 //! ```text
 //! run_all [--sampled] [--only <name>[,<name>...]]
+//!         [--cache-dir <dir>] [--no-cache] [--verify-golden <dir>]
 //! ```
 //!
 //! `--only` filters the battery by experiment name (exact or unambiguous
@@ -27,6 +29,32 @@
 //! untouched. The `ablation_sampling` experiment — which exists to compare
 //! sampled against full simulation — is excluded from the default sampled
 //! battery (select it explicitly with `--only` if wanted).
+//!
+//! # The persistent cache
+//!
+//! By default the battery runs over a persistent on-disk artifact cache
+//! (`.microlib-cache/`, or `$MICROLIB_CACHE_DIR`, or `--cache-dir <dir>`):
+//! finished cells, sampling plans and warm-state checkpoints are journaled
+//! to disk as they complete, so a killed run resumes where it stopped, a
+//! re-run is served from disk (`recomputed 0 cells` on stderr), and a
+//! config/window tweak recomputes only the cells it touches. `--no-cache`
+//! (or `MICROLIB_CACHE_DIR=off`) runs memory-only. Entries are checksummed
+//! and version-stamped; corrupt or stale files are recomputed, never
+//! trusted.
+//!
+//! # The golden gate
+//!
+//! `--verify-golden <dir>` re-runs the selected battery and byte-compares
+//! every produced results file against the committed snapshot in `<dir>`,
+//! exiting nonzero on any drift — CI runs this on every PR so a silent
+//! CPI change cannot land unnoticed.
+//!
+//! # Exit status
+//!
+//! `0` only if every selected experiment ran cleanly (and, with
+//! `--verify-golden`, matched the snapshot). Any failed experiment — or
+//! any failed campaign cell inside one — is summarized per cell on stderr
+//! and the process exits `1`.
 
 use microlib_bench::{experiments, Context};
 use std::fs;
@@ -62,16 +90,36 @@ fn resolve(name: &str) -> Result<&'static str, String> {
     }
 }
 
-/// Parses the command line: the set of experiment names to run, and
-/// whether `--sampled` was given.
-fn selection() -> Result<(Vec<&'static str>, bool), String> {
+/// The parsed command line.
+struct Cli {
+    selected: Vec<&'static str>,
+    sampled: bool,
+    /// `None` = memory-only (`--no-cache`); `Some(dir)` = disk tier at
+    /// `dir`.
+    cache_dir: Option<String>,
+    /// Golden snapshot directory to verify against, if requested.
+    verify_golden: Option<String>,
+}
+
+/// Parses the command line (see the module docs for the grammar).
+fn selection() -> Result<Cli, String> {
     let mut args = std::env::args().skip(1);
     let mut selected: Vec<&'static str> = Vec::new();
     let mut explicit = false;
     let mut sampled = false;
+    let mut no_cache = false;
+    let mut cache_dir: Option<String> = None;
+    let mut verify_golden: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sampled" => sampled = true,
+            "--no-cache" => no_cache = true,
+            "--cache-dir" => {
+                cache_dir = Some(args.next().ok_or("--cache-dir needs a directory")?);
+            }
+            "--verify-golden" => {
+                verify_golden = Some(args.next().ok_or("--verify-golden needs a directory")?);
+            }
             "--only" => {
                 explicit = true;
                 let list = args
@@ -86,7 +134,8 @@ fn selection() -> Result<(Vec<&'static str>, bool), String> {
             }
             other => {
                 return Err(format!(
-                    "unknown argument {other:?} (expected --sampled or --only <list>)"
+                    "unknown argument {other:?} (expected --sampled, --only <list>, \
+                     --cache-dir <dir>, --no-cache or --verify-golden <dir>)"
                 ))
             }
         }
@@ -100,11 +149,58 @@ fn selection() -> Result<(Vec<&'static str>, bool), String> {
             .filter(|n| !(sampled && *n == "ablation_sampling"))
             .collect();
     }
-    Ok((selected, sampled))
+    // Cache resolution: --no-cache wins; then --cache-dir; then the
+    // environment (including its own off switch); then the default dir.
+    let cache_dir = if no_cache {
+        None
+    } else if cache_dir.is_some() {
+        cache_dir
+    } else if std::env::var("MICROLIB_CACHE_DIR").is_err() {
+        Some(".microlib-cache".to_owned())
+    } else {
+        // Set in the environment: let the library's parse (shared with
+        // every other binary) decide whether the value means "off".
+        microlib::ArtifactStore::cache_dir_from_env().map(|p| p.to_string_lossy().into_owned())
+    };
+    Ok(Cli {
+        selected,
+        sampled,
+        cache_dir,
+        verify_golden,
+    })
+}
+
+/// Byte-compares every selected results file against the golden snapshot.
+/// Returns the number of mismatched (or missing) files.
+fn verify_golden(out_dir: &str, golden_dir: &str, selected: &[&str]) -> usize {
+    let mut drifted = 0usize;
+    println!("\nverifying {out_dir}/ against golden snapshot {golden_dir}/");
+    for name in selected {
+        let produced = fs::read(format!("{out_dir}/{name}.txt"));
+        let golden = fs::read(format!("{golden_dir}/{name}.txt"));
+        match (produced, golden) {
+            (Ok(p), Ok(g)) if p == g => println!("  ok      {name}"),
+            (Ok(_), Ok(_)) => {
+                drifted += 1;
+                println!(
+                    "  DRIFT   {name} (run `diff {golden_dir}/{name}.txt {out_dir}/{name}.txt`)"
+                );
+            }
+            (_, Err(_)) => {
+                drifted += 1;
+                println!("  MISSING {name} (no golden file — regenerate the snapshot?)");
+            }
+            (Err(_), _) => {
+                drifted += 1;
+                println!("  MISSING {name} (experiment produced no output)");
+            }
+        }
+    }
+    drifted
 }
 
 fn main() {
-    let (selected, sampled) = match selection() {
+    let cli = match selection() {
         Ok(s) => s,
         Err(e) => {
             eprintln!("{e}");
@@ -115,7 +211,7 @@ fn main() {
     // MICROLIB_SAMPLED (a stale `=0` in the shell would otherwise run the
     // whole battery in full mode while labeling the output sampled), but
     // respect an explicit sampling spec.
-    if sampled
+    if cli.sampled
         && matches!(
             std::env::var("MICROLIB_SAMPLED").as_deref(),
             Err(_) | Ok("" | "0" | "off" | "false")
@@ -123,7 +219,13 @@ fn main() {
     {
         std::env::set_var("MICROLIB_SAMPLED", "1");
     }
-    let out_dir = if sampled {
+    // The Context builds its store from the environment; publish the
+    // resolved cache decision there (mirrors the --sampled handling).
+    match &cli.cache_dir {
+        Some(dir) => std::env::set_var("MICROLIB_CACHE_DIR", dir),
+        None => std::env::set_var("MICROLIB_CACHE_DIR", "off"),
+    }
+    let out_dir = if cli.sampled {
         "results-sampled"
     } else {
         "results"
@@ -131,10 +233,10 @@ fn main() {
     fs::create_dir_all(out_dir).expect("results dir");
     let mut cx = Context::new();
     let battery = Instant::now();
-    let mut failed = 0usize;
+    let mut failed: Vec<&'static str> = Vec::new();
     let mut ran = 0usize;
     for (name, run) in experiments::ALL {
-        if !selected.contains(name) {
+        if !cli.selected.contains(name) {
             continue;
         }
         ran += 1;
@@ -151,11 +253,11 @@ fn main() {
         match outcome {
             Ok(Ok(())) => println!("    -> {path} ({:.1?})", t.elapsed()),
             Ok(Err(e)) => {
-                failed += 1;
+                failed.push(name);
                 eprintln!("{name} FAILED writing output: {e} (partial capture in {path})");
             }
             Err(payload) => {
-                failed += 1;
+                failed.push(name);
                 let msg = payload
                     .downcast_ref::<String>()
                     .map(String::as_str)
@@ -167,6 +269,8 @@ fn main() {
         // Warm checkpoints only pay off within one experiment's sweeps
         // (different experiments warm different configurations); traces
         // and the cell memo keep earning across the battery and stay.
+        // (The disk tier keeps its copies — a later experiment or process
+        // with the same configuration re-hydrates from disk.)
         cx.store().clear_warm_states();
     }
     let stats = cx.store().stats();
@@ -179,13 +283,53 @@ fn main() {
         stats.plan_hits,
         stats.plan_hits + stats.plan_misses,
         stats.memo_hits,
-        stats.memo_hits + stats.memo_misses,
+        stats.memo_hits + stats.memo_misses + stats.memo_disk_hits,
     );
-    println!(
-        "\nall {ran} experiments done in {:.1?} ({failed} failed); results under {out_dir}/",
-        battery.elapsed()
-    );
-    if failed > 0 {
+    match cx.store().disk_cache() {
+        Some(disk) => eprintln!(
+            "disk cache ({}): {} memo hits, {} plan hits, {} warm hits; recomputed {} cells",
+            disk.root().display(),
+            stats.memo_disk_hits,
+            stats.plan_disk_hits,
+            stats.warm_disk_hits,
+            stats.cells_recomputed(),
+        ),
+        None => eprintln!("disk cache: off"),
+    }
+
+    // A partially failed battery must never look green: summarize every
+    // failed experiment — and every failed campaign cell — then exit 1.
+    let cell_failures = cx.cell_failures();
+    if !failed.is_empty() || !cell_failures.is_empty() {
+        eprintln!("\nBATTERY FAILED — {} experiment(s):", failed.len());
+        for name in &failed {
+            eprintln!("  {name}");
+        }
+        if !cell_failures.is_empty() {
+            eprintln!("failed campaign cells:");
+            for line in &cell_failures {
+                eprintln!("  {line}");
+            }
+        }
+        println!(
+            "\n{ran} experiments attempted in {:.1?} ({} failed); results under {out_dir}/",
+            battery.elapsed(),
+            failed.len()
+        );
         exit(1);
     }
+    // The golden gate runs before the success banner: a drifting run
+    // must never print "done (0 failed)" and then exit 1.
+    if let Some(golden_dir) = &cli.verify_golden {
+        let drifted = verify_golden(out_dir, golden_dir, &cli.selected);
+        if drifted > 0 {
+            eprintln!("golden verification FAILED: {drifted} file(s) drifted");
+            exit(1);
+        }
+        println!("golden verification passed ({} files)", cli.selected.len());
+    }
+    println!(
+        "\nall {ran} experiments done in {:.1?} (0 failed); results under {out_dir}/",
+        battery.elapsed()
+    );
 }

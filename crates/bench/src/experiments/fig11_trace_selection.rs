@@ -6,7 +6,7 @@
 
 use crate::Context;
 use microlib::report::text_table;
-use microlib::{run_matrix, ExperimentConfig};
+use microlib::{Campaign, ExperimentConfig};
 use microlib_mech::MechanismKind;
 use microlib_trace::{benchmarks, simpoint, BbvProfiler, TraceWindow, Workload};
 use rayon::prelude::*;
@@ -41,6 +41,9 @@ pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
     // sweep all mechanisms over the chosen interval (inner campaign runs
     // single-threaded — the outer loop already fills the machine).
     let mechanisms = base.mechanisms.clone();
+    // Inner campaigns share the battery-wide store: their cells memoize
+    // (and persist, with a disk tier) like standard-campaign cells.
+    let store = cx.store().clone();
     let per_bench: Vec<(usize, TraceWindow, Vec<f64>)> = crate::par_pool().install(|| {
         benchmarks::NAMES
             .par_iter()
@@ -61,7 +64,11 @@ pub fn run(cx: &mut Context, w: &mut dyn Write) -> io::Result<()> {
                     threads: 1,
                     ..base.clone()
                 };
-                let m = run_matrix(&cfg).expect("simpoint sweep");
+                let m = Campaign::new(cfg)
+                    .with_store(store.clone())
+                    .run()
+                    .and_then(|r| r.into_matrix())
+                    .expect("simpoint sweep");
                 let speedups = mechanisms.iter().map(|k| m.speedup(bench, *k)).collect();
                 (chosen, sp_window, speedups)
             })

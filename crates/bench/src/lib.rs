@@ -30,7 +30,7 @@
 use microlib::{ArtifactStore, Campaign, ExperimentConfig, Matrix, SamplingMode, SimOptions};
 use microlib_trace::TraceWindow;
 use std::io::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 pub mod experiments;
 
@@ -164,6 +164,18 @@ pub fn sweep(cfg: &ExperimentConfig) -> Matrix {
 /// Panics if the configuration is rejected or any cell fails (see
 /// [`sweep`]).
 pub fn sweep_with(store: Option<Arc<ArtifactStore>>, cfg: &ExperimentConfig) -> Matrix {
+    sweep_logged(store, None, cfg)
+}
+
+/// [`sweep_with`] with an optional per-cell failure sink: failed cells
+/// are recorded as `"benchmark x mechanism: cause"` lines *before* the
+/// panic, so a battery driver that catches the panic can still report
+/// exactly which cells failed at the end of the run.
+fn sweep_logged(
+    store: Option<Arc<ArtifactStore>>,
+    failure_sink: Option<&Mutex<Vec<String>>>,
+    cfg: &ExperimentConfig,
+) -> Matrix {
     let mut campaign = Campaign::new(cfg.clone());
     if let Some(store) = store {
         campaign = campaign.with_store(store);
@@ -189,6 +201,17 @@ pub fn sweep_with(store: Option<Arc<ArtifactStore>>, cfg: &ExperimentConfig) -> 
         for cell in report.failures() {
             let err = cell.outcome.as_ref().expect_err("failure cell");
             eprintln!("  FAILED {} x {}: {err}", cell.benchmark, cell.mechanism);
+            if let Some(sink) = failure_sink {
+                // Dedup: a cell of the shared standard campaign that
+                // fails re-fails under every later experiment that
+                // touches `std_matrix` (the panic aborts assignment, so
+                // nothing caches) — one summary line per distinct cell.
+                let line = format!("{} x {}: {err}", cell.benchmark, cell.mechanism);
+                let mut sink = sink.lock().expect("failure sink lock");
+                if !sink.contains(&line) {
+                    sink.push(line);
+                }
+            }
         }
         panic!(
             "{} of {} sweep cells failed (details on stderr)",
@@ -207,6 +230,7 @@ pub fn sweep_with(store: Option<Arc<ArtifactStore>>, cfg: &ExperimentConfig) -> 
 pub struct Context {
     std_matrix: Option<Matrix>,
     store: Arc<ArtifactStore>,
+    cell_failures: Mutex<Vec<String>>,
 }
 
 impl Default for Context {
@@ -217,11 +241,13 @@ impl Default for Context {
 
 impl Context {
     /// Creates an empty context (no sweeps run yet) with a battery-wide
-    /// artifact store honouring `MICROLIB_ARTIFACTS`.
+    /// artifact store honouring `MICROLIB_ARTIFACTS` and
+    /// `MICROLIB_CACHE_DIR` (the persistent disk tier).
     pub fn new() -> Self {
         Context {
             std_matrix: None,
             store: Arc::new(ArtifactStore::from_env()),
+            cell_failures: Mutex::new(Vec::new()),
         }
     }
 
@@ -233,9 +259,16 @@ impl Context {
     }
 
     /// Runs `cfg` through the campaign engine over the battery-wide
-    /// artifact store (see [`sweep`] for the failure handling).
+    /// artifact store (see [`sweep`] for the failure handling). Failed
+    /// cells are additionally recorded in the context's failure log
+    /// ([`cell_failures`](Context::cell_failures)) before the panic, so
+    /// the battery driver can summarize them after catching it.
     pub fn sweep(&self, cfg: &ExperimentConfig) -> Matrix {
-        sweep_with(Some(Arc::clone(&self.store)), cfg)
+        sweep_logged(
+            Some(Arc::clone(&self.store)),
+            Some(&self.cell_failures),
+            cfg,
+        )
     }
 
     /// The matrix of the standard experiment ([`std_experiment`]), swept on
@@ -243,9 +276,24 @@ impl Context {
     /// the process.
     pub fn std_matrix(&mut self) -> &Matrix {
         if self.std_matrix.is_none() {
-            self.std_matrix = Some(sweep_with(Some(Arc::clone(&self.store)), &std_experiment()));
+            self.std_matrix = Some(sweep_logged(
+                Some(Arc::clone(&self.store)),
+                Some(&self.cell_failures),
+                &std_experiment(),
+            ));
         }
         self.std_matrix.as_ref().expect("just computed")
+    }
+
+    /// Every campaign cell that failed under this context, as
+    /// `"benchmark x mechanism: cause"` lines in the order the failures
+    /// were reported. `run_all` prints these in its end-of-battery
+    /// summary so a partially failed battery can never look green.
+    pub fn cell_failures(&self) -> Vec<String> {
+        self.cell_failures
+            .lock()
+            .expect("failure sink lock")
+            .clone()
     }
 }
 
@@ -290,6 +338,30 @@ mod tests {
     #[test]
     fn article_window_is_longer() {
         assert!(article_window().simulate > std_window().simulate);
+    }
+
+    #[test]
+    fn failed_cells_are_recorded_before_the_sweep_panics() {
+        use microlib_mech::MechanismKind;
+        use microlib_model::SystemConfig;
+
+        let cx = Context::new();
+        let cfg = ExperimentConfig {
+            system: SystemConfig::baseline_constant_memory(),
+            benchmarks: vec!["swim".into(), "quake3".into()],
+            mechanisms: vec![MechanismKind::Base],
+            window: TraceWindow::new(0, 1_000),
+            seed: 1,
+            threads: 1,
+            sampling: SamplingMode::Full,
+        };
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| cx.sweep(&cfg)));
+        assert!(panicked.is_err(), "a failed cell still panics the sweep");
+        let failures = cx.cell_failures();
+        assert_eq!(failures.len(), 1, "one cell failed: {failures:?}");
+        assert!(failures[0].contains("quake3"));
+        assert!(failures[0].contains("Base"));
+        assert!(failures[0].contains("unknown benchmark"));
     }
 
     #[test]

@@ -35,13 +35,31 @@
 //! disable) gates the default stores created by
 //! [`Campaign`](crate::Campaign); a disabled store makes every run take
 //! the legacy cold path.
+//!
+//! # The on-disk tier
+//!
+//! A store can additionally carry a persistent
+//! [`DiskCache`](crate::DiskCache) tier
+//! ([`with_disk_cache`](ArtifactStore::with_disk_cache), or
+//! `MICROLIB_CACHE_DIR` via [`from_env`](ArtifactStore::from_env)).
+//! Result memos, sampling plans and warm-state checkpoints are then
+//! written through to disk as they are computed and served from disk by
+//! later processes; traces stay memory-only (they regenerate faster than
+//! they deserialize). Each memo file is written atomically the moment its
+//! cell completes, so the memo directory doubles as a **resume journal**:
+//! a killed campaign restarts and recomputes only the cells whose files
+//! are missing. Corrupt, truncated or version-mismatched entries are
+//! detected (checksums + embedded keys) and silently recomputed.
 
+use crate::disk::DiskCache;
 use crate::simulator::{RunResult, SimError, SimOptions};
 use microlib_mech::MechanismKind;
 use microlib_mem::{capture_warm_state, WarmState};
+use microlib_model::codec::{BinCodec, Decoder, Encoder};
 use microlib_model::SystemConfig;
 use microlib_trace::{benchmarks, SamplingPlan, TraceBuffer, TraceWindow, Workload};
 use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
@@ -51,6 +69,22 @@ use std::sync::{Arc, Mutex};
 /// memo keys.
 pub fn config_key(config: &SystemConfig) -> String {
     format!("{config:?}")
+}
+
+/// Largest encoded warm state (bytes) the disk tier persists:
+/// `MICROLIB_CACHE_WARM_MAX_MB` (MiB; `0` = unlimited), default 8 MiB.
+/// Small-window warm states (the CI regime) fit comfortably; the
+/// multi-ten-MB event logs of article-scale warm phases are cheaper to
+/// re-record than to store per configuration.
+fn warm_disk_cap() -> usize {
+    match std::env::var("MICROLIB_CACHE_WARM_MAX_MB")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(0) => usize::MAX,
+        Some(mib) => mib.saturating_mul(1 << 20),
+        None => 8 << 20,
+    }
 }
 
 #[derive(Default)]
@@ -100,10 +134,25 @@ pub struct ArtifactStoreStats {
     pub plan_hits: u64,
     /// Sampling-plan requests that had to profile and cluster.
     pub plan_misses: u64,
-    /// Cell results served from the memo cache.
+    /// Cell results served from the in-memory memo cache.
     pub memo_hits: u64,
     /// Cell results that had to simulate.
     pub memo_misses: u64,
+    /// Cell results served from the on-disk tier (a RAM miss that decoded
+    /// a valid disk entry; **not** counted in `memo_misses`).
+    pub memo_disk_hits: u64,
+    /// Sampling plans served from the on-disk tier.
+    pub plan_disk_hits: u64,
+    /// Warm states served from the on-disk tier.
+    pub warm_disk_hits: u64,
+}
+
+impl ArtifactStoreStats {
+    /// Cells that had to simulate — zero means every requested cell came
+    /// from memory or disk (the resume / warm-cache fast path).
+    pub fn cells_recomputed(&self) -> u64 {
+        self.memo_misses
+    }
 }
 
 /// Shared, thread-safe store of mechanism-independent simulation
@@ -133,6 +182,7 @@ pub struct ArtifactStoreStats {
 /// ```
 pub struct ArtifactStore {
     enabled: bool,
+    disk: Option<DiskCache>,
     traces: Mutex<HashMap<(&'static str, u64), Arc<TraceSlot>>>,
     warm: Mutex<HashMap<WarmKey, Arc<Mutex<WarmGate>>>>,
     plans: Mutex<HashMap<PlanKey, Arc<PlanSlot>>>,
@@ -146,12 +196,16 @@ pub struct ArtifactStore {
     plan_misses: AtomicU64,
     memo_hits: AtomicU64,
     memo_misses: AtomicU64,
+    memo_disk_hits: AtomicU64,
+    plan_disk_hits: AtomicU64,
+    warm_disk_hits: AtomicU64,
 }
 
 impl std::fmt::Debug for ArtifactStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ArtifactStore")
             .field("enabled", &self.enabled)
+            .field("disk", &self.disk.as_ref().map(|d| d.root()))
             .field("stats", &self.stats())
             .finish_non_exhaustive()
     }
@@ -167,6 +221,7 @@ impl ArtifactStore {
     fn with_enabled(enabled: bool) -> Self {
         ArtifactStore {
             enabled,
+            disk: None,
             traces: Mutex::new(HashMap::new()),
             warm: Mutex::new(HashMap::new()),
             plans: Mutex::new(HashMap::new()),
@@ -180,10 +235,13 @@ impl ArtifactStore {
             plan_misses: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
+            memo_disk_hits: AtomicU64::new(0),
+            plan_disk_hits: AtomicU64::new(0),
+            warm_disk_hits: AtomicU64::new(0),
         }
     }
 
-    /// An enabled, empty store.
+    /// An enabled, empty, memory-only store.
     pub fn new() -> Self {
         Self::with_enabled(true)
     }
@@ -194,10 +252,40 @@ impl ArtifactStore {
         Self::with_enabled(false)
     }
 
+    /// Attaches a persistent on-disk tier rooted at `dir`: result memos,
+    /// sampling plans and warm states are written through as they are
+    /// computed and served from disk across processes (see the module
+    /// docs). No effect on a [disabled](ArtifactStore::disabled) store.
+    pub fn with_disk_cache(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.disk = self.enabled.then(|| DiskCache::new(dir));
+        self
+    }
+
+    /// The on-disk tier, if one is attached.
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
     /// A store honouring the `MICROLIB_ARTIFACTS` environment variable
-    /// (enabled unless it is `off`, `0` or `false`).
+    /// (enabled unless it is `off`, `0` or `false`), with an on-disk tier
+    /// at `MICROLIB_CACHE_DIR` when that is set to a path (unset, empty,
+    /// `off`, `0` and `false` mean memory-only).
     pub fn from_env() -> Self {
-        Self::with_enabled(Self::enabled_by_env())
+        let store = Self::with_enabled(Self::enabled_by_env());
+        match Self::cache_dir_from_env() {
+            Some(dir) => store.with_disk_cache(dir),
+            None => store,
+        }
+    }
+
+    /// The disk-cache directory `MICROLIB_CACHE_DIR` requests, if any.
+    pub fn cache_dir_from_env() -> Option<PathBuf> {
+        match std::env::var("MICROLIB_CACHE_DIR") {
+            Ok(dir) if !matches!(dir.as_str(), "" | "off" | "0" | "false") => {
+                Some(PathBuf::from(dir))
+            }
+            _ => None,
+        }
     }
 
     /// Whether `MICROLIB_ARTIFACTS` currently allows artifact sharing.
@@ -226,6 +314,9 @@ impl ArtifactStore {
             plan_misses: self.plan_misses.load(Ordering::Relaxed),
             memo_hits: self.memo_hits.load(Ordering::Relaxed),
             memo_misses: self.memo_misses.load(Ordering::Relaxed),
+            memo_disk_hits: self.memo_disk_hits.load(Ordering::Relaxed),
+            plan_disk_hits: self.plan_disk_hits.load(Ordering::Relaxed),
+            warm_disk_hits: self.warm_disk_hits.load(Ordering::Relaxed),
         }
     }
 
@@ -298,17 +389,12 @@ impl ArtifactStore {
         config.validate()?;
         let warm_start = warm_start.min(skip);
         let (workload, buffer) = self.trace(benchmark, seed, skip)?;
+        let ckey = config_key(config);
         let gate = {
             let mut warm = self.warm.lock().expect("warm map lock");
             Arc::clone(
-                warm.entry((
-                    buffer.benchmark(),
-                    seed,
-                    skip,
-                    warm_start,
-                    config_key(config),
-                ))
-                .or_default(),
+                warm.entry((buffer.benchmark(), seed, skip, warm_start, ckey.clone()))
+                    .or_default(),
             )
         };
         // Per-key lock: a concurrent same-key requester waits for the
@@ -317,6 +403,29 @@ impl ArtifactStore {
         if let Some(state) = &gate.state {
             self.warm_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(Arc::clone(state)));
+        }
+        let disk_key = format!(
+            "{}|seed={:#x}|skip={skip}|start={warm_start}|{ckey}",
+            buffer.benchmark(),
+            seed,
+        );
+        // A disk hit short-circuits the capture gate entirely: the state
+        // was already earned by an earlier process. Warm entries encode
+        // the functional memory as a delta against the workload's initial
+        // image, which is regenerated here (cheap: the workload keeps a
+        // prebuilt copy-on-write image).
+        if let Some(payload) = self.disk.as_ref().and_then(|d| d.load("warm", &disk_key)) {
+            let mut base = microlib_mem::FunctionalMemory::new();
+            workload.initialize(&mut base);
+            let mut d = Decoder::new(&payload);
+            if let Ok(state) =
+                WarmState::decode(&mut d, config, &base).and_then(|s| d.finish().map(|_| s))
+            {
+                self.warm_disk_hits.fetch_add(1, Ordering::Relaxed);
+                let state = Arc::new(state);
+                gate.state = Some(Arc::clone(&state));
+                return Ok(Some(state));
+            }
         }
         gate.requests += 1;
         if gate.requests < 2 {
@@ -331,6 +440,19 @@ impl ArtifactStore {
             capture_warm_state(Arc::clone(config), |fm| workload.initialize(fm), insts)
                 .expect("configuration validated above"),
         );
+        if let Some(disk) = &self.disk {
+            let mut base = microlib_mem::FunctionalMemory::new();
+            workload.initialize(&mut base);
+            let mut e = Encoder::new();
+            state.encode(&base, &mut e);
+            // Long warm phases produce multi-ten-MB event logs whose disk
+            // round trip is worth less than the space: persist only
+            // entries under the cap (memos and plans — the artifacts that
+            // make re-runs incremental — are never capped).
+            if e.as_bytes().len() <= warm_disk_cap() {
+                disk.store("warm", &disk_key, e.as_bytes());
+            }
+        }
         gate.state = Some(Arc::clone(&state));
         Ok(Some(state))
     }
@@ -375,6 +497,21 @@ impl ArtifactStore {
             self.plan_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(plan));
         }
+        let disk_key = format!(
+            "{}|seed={seed:#x}|region={}+{}|interval={interval}|k={max_clusters}",
+            buffer.benchmark(),
+            region.skip,
+            region.simulate,
+        );
+        if let Some(payload) = self.disk.as_ref().and_then(|d| d.load("plan", &disk_key)) {
+            let mut d = Decoder::new(&payload);
+            if let Ok(plan) = SamplingPlan::decode(&mut d).and_then(|p| d.finish().map(|_| p)) {
+                self.plan_disk_hits.fetch_add(1, Ordering::Relaxed);
+                let plan = Arc::new(plan);
+                *state = Some(Arc::clone(&plan));
+                return Ok(plan);
+            }
+        }
         self.plan_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(SamplingPlan::profile(
             TraceBuffer::replay(&buffer),
@@ -383,6 +520,11 @@ impl ArtifactStore {
             max_clusters,
             seed,
         ));
+        if let Some(disk) = &self.disk {
+            let mut e = Encoder::new();
+            plan.encode(&mut e);
+            disk.store("plan", &disk_key, e.as_bytes());
+        }
         *state = Some(Arc::clone(&plan));
         Ok(plan)
     }
@@ -415,15 +557,35 @@ impl ArtifactStore {
     }
 
     pub(crate) fn memo_get(&self, key: &str) -> Option<Arc<RunResult>> {
-        let hit = self.memo.lock().expect("memo lock").get(key).cloned();
-        match &hit {
-            Some(_) => self.memo_hits.fetch_add(1, Ordering::Relaxed),
-            None => self.memo_misses.fetch_add(1, Ordering::Relaxed),
-        };
-        hit
+        if let Some(hit) = self.memo.lock().expect("memo lock").get(key).cloned() {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return Some(hit);
+        }
+        if let Some(payload) = self.disk.as_ref().and_then(|d| d.load("memo", key)) {
+            let mut d = Decoder::new(&payload);
+            if let Ok(result) = RunResult::decode(&mut d).and_then(|r| d.finish().map(|_| r)) {
+                self.memo_disk_hits.fetch_add(1, Ordering::Relaxed);
+                let result = Arc::new(result);
+                self.memo
+                    .lock()
+                    .expect("memo lock")
+                    .insert(key.to_owned(), Arc::clone(&result));
+                return Some(result);
+            }
+        }
+        self.memo_misses.fetch_add(1, Ordering::Relaxed);
+        None
     }
 
+    /// Journals a completed cell: into RAM and — with a disk tier — as
+    /// one atomically written file, immediately, so a killed campaign
+    /// resumes from exactly the cells that finished.
     pub(crate) fn memo_put(&self, key: String, result: RunResult) {
+        if let Some(disk) = &self.disk {
+            let mut e = Encoder::new();
+            result.encode(&mut e);
+            disk.store("memo", &key, e.as_bytes());
+        }
         self.memo
             .lock()
             .expect("memo lock")

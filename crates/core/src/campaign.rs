@@ -13,6 +13,19 @@
 //! failing cell), a campaign always runs every cell and records each
 //! failure next to its coordinates, so one bad configuration no longer
 //! aborts a 338-cell sweep.
+//!
+//! # Crash-safe resume
+//!
+//! A campaign over a store with an on-disk tier
+//! ([`ArtifactStore::with_disk_cache`], or `MICROLIB_CACHE_DIR`) is
+//! resumable: every finished cell is journaled to the disk memo the
+//! moment it completes (one atomically written file per cell), so a
+//! campaign killed at any point — `SIGKILL` included — restarts,
+//! re-serves the journaled cells from disk and recomputes only the
+//! missing ones, with bit-identical output. The same key mechanism makes
+//! re-runs **incremental**: the content key covers the configuration,
+//! window, seed and sampling mode, so a config tweak invalidates exactly
+//! the cells it touches.
 
 use crate::artifacts::ArtifactStore;
 use crate::experiment::{ExperimentConfig, Matrix};

@@ -55,6 +55,7 @@
 
 mod artifacts;
 mod campaign;
+mod disk;
 mod experiment;
 mod ranking;
 pub mod report;
@@ -65,6 +66,7 @@ mod validation;
 
 pub use artifacts::{config_key, ArtifactStore, ArtifactStoreStats};
 pub use campaign::{Campaign, CampaignCell, CampaignReport, CellUpdate};
+pub use disk::{DiskCache, FORMAT_VERSION};
 pub use experiment::{run_matrix, ExperimentConfig, Matrix};
 pub use ranking::{
     rank_mechanisms, ranking_row, subset_winner_analysis, RankedMechanism, SubsetWinners,
@@ -72,7 +74,8 @@ pub use ranking::{
 pub use sampling::SamplingMode;
 pub use sensitivity::{benchmark_sensitivity, sensitivity_classes, BenchmarkSensitivity};
 pub use simulator::{
-    run_custom, run_custom_with, run_one, run_one_with, RunResult, SimError, SimOptions,
+    run_custom, run_custom_keyed, run_custom_with, run_one, run_one_with, RunResult, SimError,
+    SimOptions,
 };
 pub use validation::{
     article_speedup, article_speedup_with, compare_dbcp_variants, compare_dbcp_variants_with,

@@ -105,6 +105,57 @@ impl RunResult {
     pub fn mechanism_stats(&self) -> MechanismStats {
         self.mech_l1.or(self.mech_l2).unwrap_or_default()
     }
+
+    /// Encodes the result for the artifact store's on-disk memo tier.
+    pub fn encode(&self, e: &mut microlib_model::Encoder) {
+        use microlib_model::BinCodec as _;
+        e.put_str(self.benchmark);
+        self.mechanism.encode(e);
+        self.perf.encode(e);
+        self.core.encode(e);
+        self.l1d.encode(e);
+        self.l1i.encode(e);
+        self.l2.encode(e);
+        self.memory.encode(e);
+        self.mech_l1.encode(e);
+        self.mech_l2.encode(e);
+        self.queue_l1.encode(e);
+        self.queue_l2.encode(e);
+        self.hardware.encode(e);
+        self.sampling.encode(e);
+    }
+
+    /// Decodes a result written by [`RunResult::encode`]. The benchmark
+    /// name is resolved against the static registry (results only exist
+    /// for registered benchmarks).
+    ///
+    /// # Errors
+    ///
+    /// Any [`microlib_model::CodecError`] on truncated or invalid bytes,
+    /// including a benchmark name no longer in the registry.
+    pub fn decode(d: &mut microlib_model::Decoder<'_>) -> Result<Self, microlib_model::CodecError> {
+        use microlib_model::BinCodec as _;
+        let name = d.take_str()?;
+        let benchmark = benchmarks::by_name(name)
+            .map(|p| p.name)
+            .ok_or(microlib_model::CodecError::Invalid("unknown benchmark"))?;
+        Ok(RunResult {
+            benchmark,
+            mechanism: MechanismKind::decode(d)?,
+            perf: PerfSummary::decode(d)?,
+            core: CoreStats::decode(d)?,
+            l1d: CacheStats::decode(d)?,
+            l1i: CacheStats::decode(d)?,
+            l2: CacheStats::decode(d)?,
+            memory: MemoryStats::decode(d)?,
+            mech_l1: Option::decode(d)?,
+            mech_l2: Option::decode(d)?,
+            queue_l1: Option::decode(d)?,
+            queue_l2: Option::decode(d)?,
+            hardware: HardwareBudget::decode(d)?,
+            sampling: Option::decode(d)?,
+        })
+    }
 }
 
 /// Every monotone counter bundle `simulate` reports, captured mid-run at
@@ -423,6 +474,57 @@ pub fn run_custom_with(
 ) -> Result<RunResult, SimError> {
     let store = store.is_enabled().then_some(store);
     simulate(store, Arc::clone(config), mech, label, benchmark, opts, 0)
+}
+
+/// Like [`run_custom_with`], but memoizable: the caller supplies a
+/// `variant` tag that — together with the label and the regular content
+/// key — uniquely identifies the custom mechanism's construction (e.g.
+/// `"queue=1"` for a TCP built with a 1-entry request queue). With that
+/// contract the result can be served from the store's memo (including its
+/// on-disk tier), which plain [`run_custom_with`] must never do for an
+/// opaque instance.
+///
+/// The caller is responsible for `variant` covering **every** parameter
+/// the instance was built with; two different instances under the same
+/// `(label, variant)` would alias in the memo.
+///
+/// As with [`run_custom`], the sampling option is ignored (custom runs
+/// always simulate the full window).
+///
+/// # Errors
+///
+/// Same conditions as [`run_one`].
+#[allow(clippy::too_many_arguments)] // run_custom_with plus the variant tag
+pub fn run_custom_keyed(
+    store: &ArtifactStore,
+    config: &Arc<SystemConfig>,
+    mech: Box<dyn microlib_model::Mechanism>,
+    label: MechanismKind,
+    variant: &str,
+    benchmark: &str,
+    opts: &SimOptions,
+) -> Result<RunResult, SimError> {
+    if !store.is_enabled() {
+        return simulate(None, Arc::clone(config), mech, label, benchmark, opts, 0);
+    }
+    let key = format!(
+        "{}|variant={variant}",
+        ArtifactStore::memo_key(config, label, benchmark, opts)
+    );
+    if let Some(hit) = store.memo_get(&key) {
+        return Ok((*hit).clone());
+    }
+    let result = simulate(
+        Some(store),
+        Arc::clone(config),
+        mech,
+        label,
+        benchmark,
+        opts,
+        0,
+    )?;
+    store.memo_put(key, result.clone());
+    Ok(result)
 }
 
 /// Builds the warmed system for a run: functional memory initialized,

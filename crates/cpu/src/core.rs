@@ -10,6 +10,7 @@
 
 use crate::fu::{latency, FuPool};
 use microlib_mem::{Completion, IssueRejection, IssueResult, MemorySystem, ReqId};
+use microlib_model::codec::{BinCodec, CodecError, Decoder, Encoder};
 use microlib_model::{Addr, CoreConfig, Cycle};
 use microlib_trace::{OpClass, TraceInst};
 use std::collections::{BTreeSet, HashMap, VecDeque};
@@ -77,6 +78,35 @@ impl CoreStats {
         } else {
             self.committed as f64 / self.cycles as f64
         }
+    }
+}
+
+impl BinCodec for CoreStats {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u64(self.committed);
+        e.put_u64(self.cycles);
+        e.put_u64(self.fetched);
+        e.put_u64(self.mispredict_stall_cycles);
+        e.put_u64(self.icache_stall_cycles);
+        e.put_u64(self.loads_forwarded);
+        e.put_u64(self.cache_reject_stalls);
+        e.put_u64(self.window_full_stalls);
+        e.put_u64(self.lsq_full_stalls);
+        e.put_u64(self.store_commit_stalls);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(CoreStats {
+            committed: d.take_u64()?,
+            cycles: d.take_u64()?,
+            fetched: d.take_u64()?,
+            mispredict_stall_cycles: d.take_u64()?,
+            icache_stall_cycles: d.take_u64()?,
+            loads_forwarded: d.take_u64()?,
+            cache_reject_stalls: d.take_u64()?,
+            window_full_stalls: d.take_u64()?,
+            lsq_full_stalls: d.take_u64()?,
+            store_commit_stalls: d.take_u64()?,
+        })
     }
 }
 

@@ -12,7 +12,51 @@ use crate::{
     GlobalHistoryBuffer, MarkovPrefetcher, StridePrefetcher, TagCorrelatingPrefetcher,
     TaggedPrefetcher, TimekeepingPrefetcher, TimekeepingVictimCache, VictimCache,
 };
-use microlib_model::{AttachPoint, BaseMechanism, Mechanism};
+use microlib_model::{
+    AttachPoint, BaseMechanism, BinCodec, CodecError, Decoder, Encoder, Mechanism,
+};
+
+impl BinCodec for MechanismKind {
+    fn encode(&self, e: &mut Encoder) {
+        use MechanismKind::*;
+        e.put_u8(match self {
+            Base => 0,
+            Tp => 1,
+            Vc => 2,
+            Sp => 3,
+            Markov => 4,
+            Fvc => 5,
+            Dbcp => 6,
+            DbcpInitial => 7,
+            Tkvc => 8,
+            Tk => 9,
+            Cdp => 10,
+            CdpSp => 11,
+            Tcp => 12,
+            Ghb => 13,
+        });
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        use MechanismKind::*;
+        Ok(match d.take_u8()? {
+            0 => Base,
+            1 => Tp,
+            2 => Vc,
+            3 => Sp,
+            4 => Markov,
+            5 => Fvc,
+            6 => Dbcp,
+            7 => DbcpInitial,
+            8 => Tkvc,
+            9 => Tk,
+            10 => Cdp,
+            11 => CdpSp,
+            12 => Tcp,
+            13 => Ghb,
+            _ => return Err(CodecError::Invalid("mechanism kind")),
+        })
+    }
+}
 
 /// Every mechanism configuration of the study (Table 2), plus the buggy
 /// initial DBCP used by Fig 3.

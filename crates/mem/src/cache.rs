@@ -6,7 +6,9 @@
 //! what lets the same array back both the detailed MicroLib model and the
 //! SimpleScalar-like idealized model of Fig 1.
 
-use microlib_model::{Addr, CacheConfig, LineData, Replacement};
+use microlib_model::{
+    Addr, BinCodec, CacheConfig, CodecError, Decoder, Encoder, LineData, Replacement,
+};
 
 /// Metadata + data for one cache line slot.
 #[derive(Clone, Debug)]
@@ -115,6 +117,76 @@ impl CacheArray {
     /// The array's configuration.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// Encodes the array's mutable state (lines, clock, replacement RNG).
+    /// The configuration is *not* encoded: warm-checkpoint cache keys
+    /// already cover it, so decode rebuilds from the caller's config.
+    ///
+    /// Invalid lines are encoded as a single flag: their tag, replacement
+    /// metadata and data can never influence behavior (every read path
+    /// filters on `valid`, and victim choice takes an invalid way
+    /// positionally, before any metadata comparison), so decode restores
+    /// them to the fresh-array default. This keeps a half-warm L2's
+    /// encoding proportional to its *resident* lines.
+    pub(crate) fn encode_state(&self, e: &mut Encoder) {
+        e.put_u64(self.clock);
+        e.put_u64(self.rng_state);
+        e.put_usize(self.sets.len());
+        for set in &self.sets {
+            e.put_usize(set.len());
+            for line in set {
+                e.put_bool(line.valid);
+                if !line.valid {
+                    continue;
+                }
+                e.put_u64(line.tag);
+                e.put_bool(line.dirty);
+                e.put_bool(line.prefetched);
+                e.put_bool(line.touched);
+                e.put_u64(line.lru);
+                e.put_u64(line.fifo);
+                line.data.encode(e);
+            }
+        }
+    }
+
+    /// Rebuilds an array for `config` and restores the encoded state.
+    /// Rejects geometry mismatches (the entry was written under a
+    /// different configuration than the key claimed).
+    pub(crate) fn decode_state(
+        config: CacheConfig,
+        d: &mut Decoder<'_>,
+    ) -> Result<Self, CodecError> {
+        let mut array = CacheArray::new(config).map_err(|_| CodecError::Invalid("cache config"))?;
+        array.clock = d.take_u64()?;
+        array.rng_state = d.take_u64()?;
+        if d.take_usize()? != array.sets.len() {
+            return Err(CodecError::Invalid("cache set count"));
+        }
+        let line_words = (array.config.line_bytes / 8) as usize;
+        for set in &mut array.sets {
+            if d.take_usize()? != set.len() {
+                return Err(CodecError::Invalid("cache way count"));
+            }
+            for line in set {
+                line.valid = d.take_bool()?;
+                if !line.valid {
+                    continue;
+                }
+                line.tag = d.take_u64()?;
+                line.dirty = d.take_bool()?;
+                line.prefetched = d.take_bool()?;
+                line.touched = d.take_bool()?;
+                line.lru = d.take_u64()?;
+                line.fifo = d.take_u64()?;
+                line.data = LineData::decode(d)?;
+                if line.data.words().len() != line_words {
+                    return Err(CodecError::Invalid("cache line width"));
+                }
+            }
+        }
+        Ok(array)
     }
 
     /// Line size in bytes.

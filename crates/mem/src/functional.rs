@@ -16,7 +16,7 @@
 //! forgotten dirty bit (the paper's §2.2 anecdote) makes the two diverge and
 //! is caught immediately.
 
-use microlib_model::{Addr, LineData};
+use microlib_model::{Addr, BinCodec, CodecError, Decoder, Encoder, LineData};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -115,6 +115,111 @@ impl SparseMemory {
     }
 }
 
+impl SparseMemory {
+    /// Encodes this memory as a **delta against `base`**: only pages
+    /// absent from (or differing from) `base` are written, in ascending
+    /// page-index order (the canonical form — HashMap iteration order
+    /// would make byte streams nondeterministic). Decoding with the same
+    /// base reconstructs the memory exactly.
+    ///
+    /// The intended base is a deterministically regenerable image (a
+    /// workload's initial memory): a warmed memory shares most of its
+    /// pages with it copy-on-write, so the `Arc::ptr_eq` fast path skips
+    /// untouched pages without comparing contents, and the encoded size
+    /// is proportional to the pages the warm phase actually touched.
+    /// Pages are never *removed* by simulation (writes only materialize
+    /// or mutate), so a delta plus the base always covers the full page
+    /// set; the encoded resident-page count guards that invariant.
+    pub(crate) fn encode_delta(&self, base: &SparseMemory, e: &mut Encoder) {
+        let mut changed: Vec<u64> = self
+            .pages
+            .iter()
+            .filter(|(idx, page)| match base.pages.get(idx) {
+                Some(b) => !Arc::ptr_eq(page, b) && ***page != **b,
+                None => true,
+            })
+            .map(|(idx, _)| *idx)
+            .collect();
+        changed.sort_unstable();
+        e.put_u64(base.content_digest());
+        e.put_usize(self.pages.len());
+        e.put_usize(changed.len());
+        for idx in changed {
+            e.put_u64(idx);
+            for word in self.pages[&idx].iter() {
+                e.put_u64(*word);
+            }
+        }
+    }
+
+    /// Reconstructs a memory from `base` plus an encoded delta.
+    pub(crate) fn decode_delta(
+        base: &SparseMemory,
+        d: &mut Decoder<'_>,
+    ) -> Result<Self, CodecError> {
+        if d.take_u64()? != base.content_digest() {
+            // The caller's base diverged from the one the delta was
+            // encoded against (different contents, not just a different
+            // page set) — never trust the reconstruction.
+            return Err(CodecError::Invalid("base image diverged"));
+        }
+        let total = d.take_usize()?;
+        let changed = d.take_usize()?;
+        let mut mem = base.clone();
+        for _ in 0..changed {
+            let idx = d.take_u64()?;
+            let mut page = [0u64; PAGE_WORDS];
+            for word in page.iter_mut() {
+                *word = d.take_u64()?;
+            }
+            mem.pages.insert(idx, Arc::new(page));
+        }
+        if mem.pages.len() != total {
+            // Pages are never removed by simulation, so a delta over the
+            // matching base must land on exactly the encoded page count.
+            return Err(CodecError::Invalid("page set diverged from base"));
+        }
+        Ok(mem)
+    }
+
+    /// Order-insensitive-input, order-sensitive-output FNV-1a digest of
+    /// the full canonical content (pages walked in ascending index
+    /// order). Pins a delta to the *exact* base it was encoded against:
+    /// equal page counts with different words must not decode.
+    fn content_digest(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn mix(mut h: u64, v: u64) -> u64 {
+            for b in v.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut idxs: Vec<u64> = self.pages.keys().copied().collect();
+        idxs.sort_unstable();
+        let mut h = OFFSET;
+        for idx in idxs {
+            h = mix(h, idx);
+            for word in self.pages[&idx].iter() {
+                h = mix(h, *word);
+            }
+        }
+        h
+    }
+}
+
+impl BinCodec for SparseMemory {
+    /// The standalone encoding is the delta against an empty memory
+    /// (i.e. every resident page).
+    fn encode(&self, e: &mut Encoder) {
+        self.encode_delta(&SparseMemory::new(), e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Self::decode_delta(&SparseMemory::new(), d)
+    }
+}
+
 /// The dual architectural/DRAM memory described in the module docs.
 ///
 /// # Examples
@@ -166,6 +271,26 @@ impl FunctionalMemory {
     /// Mutable access to the DRAM image.
     pub fn dram_mut(&mut self) -> &mut SparseMemory {
         &mut self.dram
+    }
+
+    /// Encodes both images as deltas against `base` (the warm-checkpoint
+    /// persistence path; `base` is the workload's freshly initialized
+    /// memory, where the architectural and DRAM images coincide).
+    pub(crate) fn encode_state(&self, base: &FunctionalMemory, e: &mut Encoder) {
+        self.arch.encode_delta(&base.arch, e);
+        self.dram.encode_delta(&base.dram, e);
+    }
+
+    /// Decodes both images against the same `base` the state was encoded
+    /// with.
+    pub(crate) fn decode_state(
+        base: &FunctionalMemory,
+        d: &mut Decoder<'_>,
+    ) -> Result<Self, CodecError> {
+        Ok(FunctionalMemory {
+            arch: SparseMemory::decode_delta(&base.arch, d)?,
+            dram: SparseMemory::decode_delta(&base.dram, d)?,
+        })
     }
 
     /// Verifies that `observed` (a value produced by the cache hierarchy for
@@ -275,6 +400,60 @@ mod tests {
         assert_eq!(mem.dram().read_word(a), 5, "DRAM unchanged until writeback");
         mem.dram_mut().write_word(a, 6);
         assert!(mem.check_load(a, 6).is_ok());
+    }
+
+    #[test]
+    fn delta_codec_round_trips_and_skips_shared_pages() {
+        let mut base = SparseMemory::new();
+        for i in 0..8u64 {
+            base.write_word(Addr::new(i * 0x1000), i + 1);
+        }
+        // A COW clone that touches two pages: one mutated, one new.
+        let mut warmed = base.clone();
+        warmed.write_word(Addr::new(0x2008), 99);
+        warmed.write_word(Addr::new(0x9000), 7);
+
+        let mut e = Encoder::new();
+        warmed.encode_delta(&base, &mut e);
+        let bytes = e.into_bytes();
+        // 2 changed pages at ~4 KB each, not 9.
+        assert!(bytes.len() < 3 * 4_096, "delta stores only touched pages");
+        let mut d = Decoder::new(&bytes);
+        let back = SparseMemory::decode_delta(&base, &mut d).unwrap();
+        d.finish().unwrap();
+        for i in 0..8u64 {
+            assert_eq!(back.read_word(Addr::new(i * 0x1000)), i + 1);
+        }
+        assert_eq!(back.read_word(Addr::new(0x2008)), 99);
+        assert_eq!(back.read_word(Addr::new(0x9000)), 7);
+        assert_eq!(back.resident_pages(), warmed.resident_pages());
+
+        // A diverged base is rejected, not silently mis-reconstructed.
+        let mut wrong = base.clone();
+        wrong.write_word(Addr::new(0xA000), 1);
+        let mut d = Decoder::new(&bytes);
+        assert!(SparseMemory::decode_delta(&wrong, &mut d).is_err());
+
+        // Same page set, different contents: the digest — not the page
+        // count — must catch this.
+        let mut same_shape = base.clone();
+        same_shape.write_word(Addr::new(0x0000), 42);
+        assert_eq!(same_shape.resident_pages(), base.resident_pages());
+        let mut d = Decoder::new(&bytes);
+        assert!(SparseMemory::decode_delta(&same_shape, &mut d).is_err());
+    }
+
+    #[test]
+    fn standalone_codec_is_delta_against_empty() {
+        let mut mem = SparseMemory::new();
+        mem.write_word(Addr::new(0x40), 5);
+        let mut e = Encoder::new();
+        mem.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = SparseMemory::decode(&mut d).unwrap();
+        assert_eq!(back.read_word(Addr::new(0x40)), 5);
+        assert_eq!(back.resident_pages(), 1);
     }
 
     #[test]

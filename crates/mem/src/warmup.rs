@@ -27,8 +27,9 @@ use crate::cache::CacheArray;
 use crate::functional::FunctionalMemory;
 use crate::hierarchy::MemorySystem;
 use microlib_model::{
-    AccessEvent, AccessKind, Addr, AttachPoint, CacheStats, ConfigError, Cycle, EvictEvent,
-    HardwareBudget, Mechanism, PrefetchQueue, ProbeResult, RefillEvent, SystemConfig, VictimAction,
+    AccessEvent, AccessKind, Addr, AttachPoint, BinCodec, CacheStats, CodecError, ConfigError,
+    Cycle, Decoder, Encoder, EvictEvent, HardwareBudget, Mechanism, PrefetchQueue, ProbeResult,
+    RefillEvent, SystemConfig, VictimAction,
 };
 use std::cell::RefCell;
 use std::rc::Rc;
@@ -136,6 +137,125 @@ pub struct WarmState {
     pub checkpoint: WarmCheckpoint,
     /// Mechanism-visible event stream of the same warm phase.
     pub log: WarmLog,
+}
+
+impl BinCodec for WarmEvent {
+    fn encode(&self, e: &mut Encoder) {
+        match self {
+            WarmEvent::Probe { line, now } => {
+                e.put_u8(0);
+                line.encode(e);
+                now.encode(e);
+            }
+            WarmEvent::Access { at, event } => {
+                e.put_u8(1);
+                at.encode(e);
+                event.encode(e);
+            }
+            WarmEvent::Evict { event } => {
+                e.put_u8(2);
+                event.encode(e);
+            }
+            WarmEvent::Refill { at, event } => {
+                e.put_u8(3);
+                at.encode(e);
+                event.encode(e);
+            }
+        }
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match d.take_u8()? {
+            0 => Ok(WarmEvent::Probe {
+                line: Addr::decode(d)?,
+                now: Cycle::decode(d)?,
+            }),
+            1 => Ok(WarmEvent::Access {
+                at: AttachPoint::decode(d)?,
+                event: AccessEvent::decode(d)?,
+            }),
+            2 => Ok(WarmEvent::Evict {
+                event: EvictEvent::decode(d)?,
+            }),
+            3 => Ok(WarmEvent::Refill {
+                at: AttachPoint::decode(d)?,
+                event: RefillEvent::decode(d)?,
+            }),
+            _ => Err(CodecError::Invalid("warm event tag")),
+        }
+    }
+}
+
+impl BinCodec for WarmLog {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_u64(self.insts);
+        self.events.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(WarmLog {
+            insts: d.take_u64()?,
+            events: Vec::decode(d)?,
+        })
+    }
+}
+
+impl WarmState {
+    /// Encodes the full artifact (checkpoint + event log) for the on-disk
+    /// artifact cache. Neither the system configuration nor the
+    /// workload's initial memory image is embedded — the cache key covers
+    /// both, so [`WarmState::decode`] rebuilds the cache arrays from the
+    /// caller's configuration and the functional memory as a **delta**
+    /// against the caller-regenerated initial image (`base`; pass an
+    /// empty [`FunctionalMemory`] for a standalone, base-free encoding).
+    /// The delta keeps warm entries proportional to the pages the warm
+    /// phase touched instead of the whole workload image.
+    pub fn encode(&self, base: &FunctionalMemory, e: &mut Encoder) {
+        e.put_u64(self.checkpoint.warm_clock);
+        self.checkpoint.l1d_stats.encode(e);
+        self.checkpoint.l1i_stats.encode(e);
+        self.checkpoint.l2_stats.encode(e);
+        self.checkpoint.functional.encode_state(base, e);
+        self.checkpoint.l1d.encode_state(e);
+        self.checkpoint.l1i.encode_state(e);
+        self.checkpoint.l2.encode_state(e);
+        self.log.encode(e);
+    }
+
+    /// Decodes a warm state captured under `config` with initial image
+    /// `base` (the same pair the cache key was built from).
+    ///
+    /// # Errors
+    ///
+    /// Any [`CodecError`] on truncated or mismatched bytes — including a
+    /// checkpoint whose cache geometry disagrees with `config` or whose
+    /// page set diverges from `base`.
+    pub fn decode(
+        d: &mut Decoder<'_>,
+        config: &SystemConfig,
+        base: &FunctionalMemory,
+    ) -> Result<Self, CodecError> {
+        let warm_clock = d.take_u64()?;
+        let l1d_stats = CacheStats::decode(d)?;
+        let l1i_stats = CacheStats::decode(d)?;
+        let l2_stats = CacheStats::decode(d)?;
+        let functional = FunctionalMemory::decode_state(base, d)?;
+        let l1d = CacheArray::decode_state(config.l1d.clone(), d)?;
+        let l1i = CacheArray::decode_state(config.l1i.clone(), d)?;
+        let l2 = CacheArray::decode_state(config.l2.clone(), d)?;
+        let log = WarmLog::decode(d)?;
+        Ok(WarmState {
+            checkpoint: WarmCheckpoint {
+                functional,
+                l1d,
+                l1i,
+                l2,
+                l1d_stats,
+                l1i_stats,
+                l2_stats,
+                warm_clock,
+            },
+            log,
+        })
+    }
 }
 
 /// A passive [`Mechanism`] that records every hook invocation into a
@@ -292,6 +412,42 @@ mod tests {
         assert_eq!(start.raw(), state.checkpoint.warm_clock());
         // Post-warmup counters start clean.
         assert_eq!(mem.l1d_stats(), CacheStats::default());
+    }
+
+    #[test]
+    fn warm_state_round_trips_through_codec() {
+        let cfg = SystemConfig::baseline_constant_memory();
+        let state = capture_warm_state(cfg.clone(), |_| {}, warm_trace(1_000)).unwrap();
+        let base = FunctionalMemory::new();
+        let mut e = Encoder::new();
+        state.encode(&base, &mut e);
+        let bytes = e.into_bytes();
+        let mut d = Decoder::new(&bytes);
+        let back = WarmState::decode(&mut d, &cfg, &base).unwrap();
+        d.finish().unwrap();
+        assert_eq!(back.checkpoint.l1d_stats, state.checkpoint.l1d_stats);
+        assert_eq!(back.checkpoint.warm_clock(), state.checkpoint.warm_clock());
+        assert_eq!(back.log.insts(), state.log.insts());
+        assert_eq!(back.log.len(), state.log.len());
+        // Canonical encoding: a decoded state re-encodes to the same
+        // bytes (deep equality, including the memory images).
+        let mut e2 = Encoder::new();
+        back.encode(&base, &mut e2);
+        assert_eq!(e2.into_bytes(), bytes);
+    }
+
+    #[test]
+    fn warm_state_decode_rejects_mismatched_geometry() {
+        let cfg = SystemConfig::baseline_constant_memory();
+        let state = capture_warm_state(cfg.clone(), |_| {}, warm_trace(500)).unwrap();
+        let base = FunctionalMemory::new();
+        let mut e = Encoder::new();
+        state.encode(&base, &mut e);
+        let bytes = e.into_bytes();
+        let mut other = cfg.clone();
+        other.l1d.size_bytes /= 2;
+        let mut d = Decoder::new(&bytes);
+        assert!(WarmState::decode(&mut d, &other, &base).is_err());
     }
 
     #[test]

@@ -32,12 +32,14 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod codec;
 pub mod config;
 pub mod event;
 pub mod mechanism;
 pub mod stats;
 pub mod types;
 
+pub use codec::{BinCodec, CodecError, Decoder, Encoder};
 pub use config::{
     AllocPolicy, BankInterleave, BusConfig, CacheConfig, ConfigError, CoreConfig, FidelityConfig,
     MemoryModel, Replacement, SdramConfig, SdramSchedule, SystemConfig, WritePolicy,

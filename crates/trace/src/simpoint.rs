@@ -10,6 +10,7 @@
 use crate::bbv::BbvProfiler;
 use crate::window::TraceWindow;
 use crate::workload::InstStream;
+use microlib_model::{BinCodec, CodecError, Decoder, Encoder};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -423,6 +424,30 @@ impl SamplingPlan {
         self.points.len() as u64 * self.interval
     }
 
+    /// Rebuilds a plan from its parts (the decode path of the on-disk
+    /// artifact cache). Points must be sorted by interval with positive
+    /// weights — the invariants [`SamplingPlan::profile`] establishes.
+    fn from_parts(
+        region: TraceWindow,
+        interval: u64,
+        points: Vec<SimPoint>,
+    ) -> Result<Self, CodecError> {
+        if interval == 0 || points.is_empty() {
+            return Err(CodecError::Invalid("empty sampling plan"));
+        }
+        if points.windows(2).any(|w| w[0].interval > w[1].interval) {
+            return Err(CodecError::Invalid("unsorted sampling plan"));
+        }
+        if points.iter().any(|p| !(p.weight > 0.0 && p.weight <= 1.0)) {
+            return Err(CodecError::Invalid("sampling plan weights"));
+        }
+        Ok(SamplingPlan {
+            region,
+            interval,
+            points,
+        })
+    }
+
     /// Detailed-simulation work reduction versus a full run of the region
     /// (`2.0` = half the instructions simulated in detail).
     pub fn work_reduction(&self) -> f64 {
@@ -432,6 +457,33 @@ impl SamplingPlan {
         } else {
             self.region.simulate as f64 / detailed as f64
         }
+    }
+}
+
+impl BinCodec for SimPoint {
+    fn encode(&self, e: &mut Encoder) {
+        e.put_usize(self.interval);
+        e.put_f64(self.weight);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(SimPoint {
+            interval: d.take_usize()?,
+            weight: d.take_f64()?,
+        })
+    }
+}
+
+impl BinCodec for SamplingPlan {
+    fn encode(&self, e: &mut Encoder) {
+        self.region.encode(e);
+        e.put_u64(self.interval);
+        self.points.encode(e);
+    }
+    fn decode(d: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let region = TraceWindow::decode(d)?;
+        let interval = d.take_u64()?;
+        let points = Vec::decode(d)?;
+        SamplingPlan::from_parts(region, interval, points)
     }
 }
 

@@ -58,6 +58,19 @@ impl TraceWindow {
     }
 }
 
+impl microlib_model::BinCodec for TraceWindow {
+    fn encode(&self, e: &mut microlib_model::Encoder) {
+        e.put_u64(self.skip);
+        e.put_u64(self.simulate);
+    }
+    fn decode(d: &mut microlib_model::Decoder<'_>) -> Result<Self, microlib_model::CodecError> {
+        Ok(TraceWindow {
+            skip: d.take_u64()?,
+            simulate: d.take_u64()?,
+        })
+    }
+}
+
 impl std::fmt::Display for TraceWindow {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "skip {} simulate {}", self.skip, self.simulate)
