@@ -1,0 +1,191 @@
+//! Simulator-throughput measurement for the committed perf trajectory.
+//!
+//! The criterion benches (`cargo bench -p microlib-bench`) are the
+//! interactive tool; this binary is the *recorded* one: it times the same
+//! `simulator/*` workloads with a plain best-of-batches harness and writes
+//! machine-readable rows, so every PR can commit a `BENCH_<pr>.json`
+//! snapshot and CI can fail on throughput regressions the same way the
+//! golden gate fails on CPI drift.
+//!
+//! Usage:
+//!
+//! ```text
+//! bench_json --out BENCH_6.json    # measure, write the trajectory rows
+//! bench_json --check [dir]         # measure, compare against the latest
+//!                                  # committed BENCH_*.json in dir (default
+//!                                  # "."); exit 1 if the headline bench
+//!                                  # regresses more than 15% in insts/s.
+//!                                  # Skips (exit 0) when no baseline exists.
+//! ```
+//!
+//! Row format (one JSON object per line, inside a top-level array):
+//! `{"bench": ..., "ns_per_iter": ..., "insts_per_s": ...}`.
+
+use microlib::{run_one, SimOptions};
+use microlib_mech::MechanismKind;
+use microlib_model::SystemConfig;
+use microlib_trace::TraceWindow;
+use std::time::Instant;
+
+/// Instructions simulated per iteration (matches the criterion benches).
+const INSTS: u64 = 5_000;
+/// The bench the CI regression gate tracks.
+const HEADLINE: &str = "simulator/swim_Base_5k_insts";
+/// Minimum acceptable fraction of the baseline's insts/s (15% tolerance).
+const FLOOR: f64 = 0.85;
+
+struct Row {
+    bench: String,
+    ns_per_iter: u64,
+    insts_per_s: u64,
+}
+
+/// Times one simulator config: warmup, then the best (lowest mean) of
+/// several fixed-size batches — the minimum over batches discards
+/// scheduling noise, which only ever adds time.
+fn measure(kind: MechanismKind) -> Row {
+    let cfg = SystemConfig::baseline();
+    let opts = SimOptions {
+        window: TraceWindow::new(2_000, INSTS),
+        ..SimOptions::default()
+    };
+    for _ in 0..3 {
+        std::hint::black_box(run_one(&cfg, kind, "swim", &opts).unwrap());
+    }
+    let (batches, iters) = (5, 16);
+    let mut best_ns = f64::INFINITY;
+    for _ in 0..batches {
+        let t = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(run_one(&cfg, kind, "swim", &opts).unwrap());
+        }
+        best_ns = best_ns.min(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    Row {
+        bench: format!("simulator/swim_{kind}_5k_insts"),
+        ns_per_iter: best_ns.round() as u64,
+        insts_per_s: (INSTS as f64 * 1e9 / best_ns).round() as u64,
+    }
+}
+
+fn measure_all() -> Vec<Row> {
+    [MechanismKind::Base, MechanismKind::Ghb]
+        .into_iter()
+        .map(|kind| {
+            let row = measure(kind);
+            eprintln!(
+                "{}: {} ns/iter ({} insts/s)",
+                row.bench, row.ns_per_iter, row.insts_per_s
+            );
+            row
+        })
+        .collect()
+}
+
+fn to_json(rows: &[Row]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        s.push_str(&format!(
+            "  {{\"bench\": \"{}\", \"ns_per_iter\": {}, \"insts_per_s\": {}}}{}\n",
+            r.bench,
+            r.ns_per_iter,
+            r.insts_per_s,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("]\n");
+    s
+}
+
+/// Finds the highest-numbered `BENCH_<n>.json` in `dir`.
+fn latest_baseline(dir: &str) -> Option<std::path::PathBuf> {
+    let mut best: Option<(u64, std::path::PathBuf)> = None;
+    for entry in std::fs::read_dir(dir).ok()? {
+        let Ok(entry) = entry else { continue };
+        let path = entry.path();
+        let Some(n) = path
+            .file_name()
+            .and_then(|f| f.to_str())
+            .and_then(|name| name.strip_prefix("BENCH_"))
+            .and_then(|rest| rest.strip_suffix(".json"))
+            .and_then(|num| num.parse::<u64>().ok())
+        else {
+            continue;
+        };
+        if best.as_ref().is_none_or(|(b, _)| n > *b) {
+            best = Some((n, path));
+        }
+    }
+    best.map(|(_, p)| p)
+}
+
+/// Pulls `insts_per_s` for `bench` out of a trajectory file. The files are
+/// written by this binary (one object per line), so a line scan suffices.
+fn baseline_insts_per_s(text: &str, bench: &str) -> Option<f64> {
+    let line = text
+        .lines()
+        .find(|l| l.contains(&format!("\"bench\": \"{bench}\"")))?;
+    let tail = line.split("\"insts_per_s\":").nth(1)?;
+    tail.trim()
+        .trim_end_matches(['}', ',', ' '])
+        .parse::<f64>()
+        .ok()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("--out") => {
+            let path = args.get(1).expect("--out requires a path");
+            let rows = measure_all();
+            std::fs::write(path, to_json(&rows)).expect("write trajectory file");
+            eprintln!("wrote {path}");
+        }
+        Some("--check") => {
+            let dir = args.get(1).map(String::as_str).unwrap_or(".");
+            let Some(baseline_path) = latest_baseline(dir) else {
+                eprintln!("no BENCH_*.json baseline under {dir}; skipping check");
+                return;
+            };
+            let text = std::fs::read_to_string(&baseline_path).expect("read baseline");
+            let Some(baseline) = baseline_insts_per_s(&text, HEADLINE) else {
+                eprintln!(
+                    "{} has no {HEADLINE} row; skipping check",
+                    baseline_path.display()
+                );
+                return;
+            };
+            let rows = measure_all();
+            let mut current = rows
+                .iter()
+                .find(|r| r.bench == HEADLINE)
+                .expect("headline bench measured")
+                .insts_per_s as f64;
+            let floor = baseline * FLOOR;
+            if current < floor {
+                // A loaded machine slows every batch at once; one fresh
+                // measurement separates sustained contention from a real
+                // regression before failing the gate.
+                eprintln!("below floor ({current:.0} < {floor:.0}); re-measuring once");
+                current = current.max(measure(MechanismKind::Base).insts_per_s as f64);
+            }
+            eprintln!(
+                "{HEADLINE}: {current:.0} insts/s vs baseline {baseline:.0} ({} floor {floor:.0})",
+                baseline_path.display()
+            );
+            if current < floor {
+                eprintln!(
+                    "FAIL: throughput regressed more than {:.0}% vs {}",
+                    (1.0 - FLOOR) * 100.0,
+                    baseline_path.display()
+                );
+                std::process::exit(1);
+            }
+            eprintln!("ok: within tolerance");
+        }
+        _ => {
+            eprintln!("usage: bench_json --out <file> | --check [dir]");
+            std::process::exit(2);
+        }
+    }
+}

@@ -580,7 +580,9 @@ fn warmed_system(
         }
         None => {
             let profile = benchmarks::by_name(benchmark).expect("resolved by the caller");
-            let workload = Workload::new(profile, opts.seed);
+            // Shared instantiation: layout is paid once per (benchmark,
+            // seed) process-wide, not once per run.
+            let workload = Workload::shared(profile, opts.seed);
             workload.initialize(mem.functional_mut());
             let mut stream = workload.stream();
             stream.advance_to(warm_start);
@@ -634,8 +636,9 @@ pub(crate) fn simulate(
     let mut trace = stream.by_ref().take(opts.window.simulate as usize);
     let budget = opts.cycle_budget() + start.raw();
     let mut now = start;
+    let mut completions = Vec::new();
     loop {
-        let completions = mem.begin_cycle(now);
+        mem.begin_cycle_into(now, &mut completions);
         core.cycle(now, &completions, &mut mem, &mut trace);
         if let Some(error) = mem.integrity_error() {
             return Err(SimError::Integrity {
@@ -787,8 +790,9 @@ pub(crate) fn simulate_sampled(
         let mut marks = stretch.marks.iter();
         let mut next_mark = marks.next();
         let mut open: Option<StatsSnapshot> = None;
+        let mut completions = Vec::new();
         loop {
-            let completions = mem.begin_cycle(now);
+            mem.begin_cycle_into(now, &mut completions);
             core.cycle(now, &completions, &mut mem, &mut trace);
             if let Some(error) = mem.integrity_error() {
                 return Err(SimError::Integrity {
@@ -838,7 +842,7 @@ pub(crate) fn simulate_sampled(
         // token could collide with the next stretch's fresh core).
         while !mem.quiescent() {
             now += 1;
-            let _ = mem.begin_cycle(now);
+            mem.begin_cycle_into(now, &mut completions);
             if now.raw() >= budget {
                 return Err(SimError::Timeout {
                     benchmark: benchmark.to_owned(),

@@ -113,6 +113,30 @@ impl FuPool {
         let hold = unpipelined(op).then(|| latency(op));
         class.try_issue(now, hold)
     }
+
+    /// How many consecutive [`FuPool::try_issue`] calls for `op` would
+    /// succeed right now. Pure — lets a caller size a batch without making
+    /// (and counting the side effects of) doomed issue attempts.
+    pub fn available(&self, op: OpClass, now: Cycle) -> u32 {
+        let class = match op {
+            OpClass::IntAlu | OpClass::Branch => &self.int_alu,
+            OpClass::IntMult | OpClass::IntDiv => &self.int_mult,
+            OpClass::FpAlu => &self.fp_alu,
+            OpClass::FpMult | OpClass::FpDiv => &self.fp_mult,
+            OpClass::Load | OpClass::Store => &self.mem,
+        };
+        let width = class.count - class.issued_this_cycle;
+        let free = class.busy_until.iter().filter(|b| **b <= now).count() as u32;
+        if unpipelined(op) {
+            // Each issue occupies a unit for its full latency.
+            width.min(free)
+        } else if free == 0 {
+            0
+        } else {
+            // Pipelined issues share units; only the width counter binds.
+            width
+        }
+    }
 }
 
 #[cfg(test)]
@@ -178,6 +202,39 @@ mod tests {
         assert!(p.try_issue(OpClass::Load, Cycle::ZERO));
         assert!(p.try_issue(OpClass::Store, Cycle::ZERO));
         assert!(!p.try_issue(OpClass::Load, Cycle::ZERO), "4 LS units");
+    }
+
+    #[test]
+    fn available_matches_try_issue_successes() {
+        let mut p = pool();
+        p.begin_cycle();
+        // Pipelined mem class: width-limited only.
+        assert_eq!(p.available(OpClass::Load, Cycle::ZERO), 4);
+        assert!(p.try_issue(OpClass::Load, Cycle::ZERO));
+        assert_eq!(p.available(OpClass::Load, Cycle::ZERO), 3);
+        for _ in 0..3 {
+            assert!(p.try_issue(OpClass::Store, Cycle::ZERO));
+        }
+        assert_eq!(p.available(OpClass::Load, Cycle::ZERO), 0);
+        assert!(!p.try_issue(OpClass::Load, Cycle::ZERO));
+        // Unpipelined divides occupy their unit across cycles.
+        p.begin_cycle();
+        assert_eq!(p.available(OpClass::IntDiv, Cycle::new(1)), 3);
+        assert!(p.try_issue(OpClass::IntDiv, Cycle::new(1)));
+        assert!(p.try_issue(OpClass::IntDiv, Cycle::new(1)));
+        p.begin_cycle();
+        assert_eq!(p.available(OpClass::IntDiv, Cycle::new(2)), 1);
+        assert_eq!(
+            p.available(OpClass::IntMult, Cycle::new(2)),
+            3,
+            "pipelined width"
+        );
+        assert!(p.try_issue(OpClass::IntDiv, Cycle::new(2)));
+        assert_eq!(
+            p.available(OpClass::IntMult, Cycle::new(3)),
+            0,
+            "all units held"
+        );
     }
 
     #[test]

@@ -237,6 +237,43 @@ impl CacheArray {
         })
     }
 
+    /// Fused demand lookup + word read for the load hit path: one tag
+    /// search instead of [`CacheArray::lookup`] followed by
+    /// [`CacheArray::read_word`], with the identical state updates.
+    pub fn lookup_load(&mut self, addr: Addr) -> Option<(HitInfo, u64)> {
+        let (set, way) = self.find(addr)?;
+        self.clock += 1;
+        let offset = (addr.offset_in_line(self.config.line_bytes) >> 3) as usize;
+        let slot = &mut self.sets[set][way];
+        slot.lru = self.clock;
+        let first_touch = slot.prefetched && !slot.touched;
+        slot.touched = true;
+        Some((
+            HitInfo {
+                first_touch_of_prefetch: first_touch,
+            },
+            slot.data.word(offset),
+        ))
+    }
+
+    /// Fused demand lookup + word write for the store hit path: one tag
+    /// search instead of [`CacheArray::lookup`] followed by
+    /// [`CacheArray::write_word`], with the identical state updates.
+    pub fn lookup_store(&mut self, addr: Addr, value: u64) -> Option<HitInfo> {
+        let (set, way) = self.find(addr)?;
+        self.clock += 1;
+        let offset = (addr.offset_in_line(self.config.line_bytes) >> 3) as usize;
+        let slot = &mut self.sets[set][way];
+        slot.lru = self.clock;
+        let first_touch = slot.prefetched && !slot.touched;
+        slot.touched = true;
+        slot.data.set_word(offset, value);
+        slot.dirty = true;
+        Some(HitInfo {
+            first_touch_of_prefetch: first_touch,
+        })
+    }
+
     /// Lookup without perturbing replacement or touch state (used by
     /// prefetch filtering and assertions).
     pub fn peek(&self, addr: Addr) -> bool {

@@ -417,9 +417,11 @@ impl MemorySystem {
             .unwrap_or(false)
     }
 
-    fn trace_event(&self, line: Addr, what: &str) {
+    /// The message is built lazily: call sites run on the hit path, and
+    /// formatting must cost nothing when line tracing is off.
+    fn trace_event(&self, line: Addr, what: impl FnOnce() -> String) {
         if self.traced(line) {
-            eprintln!("[{}] {:#x}: {}", self.now.raw(), line.raw(), what);
+            eprintln!("[{}] {:#x}: {}", self.now.raw(), line.raw(), what());
         }
     }
 
@@ -451,10 +453,9 @@ impl MemorySystem {
     /// Applies a 32-byte writeback from L1 (or a sidecar spill) into the L2
     /// array, allocating on write if the line is absent (Table 1 policy).
     fn apply_writeback_to_l2(&mut self, l1_line: Addr, data: &LineData) {
-        self.trace_event(
-            l1_line,
-            &format!("writeback to L2 word0={:#x}", data.word(0)),
-        );
+        self.trace_event(l1_line, || {
+            format!("writeback to L2 word0={:#x}", data.word(0))
+        });
         if self.fault_drop_writebacks {
             return;
         }
@@ -490,7 +491,7 @@ impl MemorySystem {
     /// data), then write dirty data to the DRAM image and occupy the
     /// memory path.
     fn handle_l2_victim(&mut self, mut victim: Victim) {
-        self.trace_event(victim.line, &format!("L2 evict dirty={}", victim.dirty));
+        self.trace_event(victim.line, || format!("L2 evict dirty={}", victim.dirty));
         let l1_bytes = self.config.l1d.line_bytes;
         let halves = (self.config.l2.line_bytes / l1_bytes) as usize;
         for h in 0..halves {
@@ -528,14 +529,13 @@ impl MemorySystem {
 
     /// Handles an L1D victim: offer to the mechanism, else write back.
     fn handle_l1_victim(&mut self, victim: Victim) {
-        self.trace_event(
-            victim.line,
-            &format!(
+        self.trace_event(victim.line, || {
+            format!(
                 "L1 evict dirty={} word0={:#x}",
                 victim.dirty,
                 victim.data.word(0)
-            ),
-        );
+            )
+        });
         if victim.untouched_prefetch {
             self.l1d.stats.useless_prefetch_evictions += 1;
         }
@@ -600,6 +600,46 @@ impl MemorySystem {
         self.data_access(pc, addr, AccessKind::Store, value, now)
     }
 
+    /// Issues a run of independent loads back to back, exactly as a
+    /// per-instruction issue loop would: each entry takes the full
+    /// [`MemorySystem::try_load`] path in order, stopping once
+    /// `allowed_successes` loads have been accepted or after a rejection
+    /// that blocks the memory path for the rest of the cycle (LSQ
+    /// backpressure fidelity, or a port rejection — with the L1D ports
+    /// exhausted no later access can succeed this cycle). Returns the
+    /// number of entries processed; their results are pushed to `results`
+    /// (cleared first) in order, and unprocessed entries were never
+    /// presented to the cache.
+    pub fn try_load_batch(
+        &mut self,
+        reqs: &[(Addr, Addr)],
+        now: Cycle,
+        allowed_successes: u32,
+        results: &mut Vec<Result<IssueResult, IssueRejection>>,
+    ) -> usize {
+        results.clear();
+        let stop_on_reject = self.config.fidelity.lsq_backpressure;
+        let mut successes = 0u32;
+        for &(pc, addr) in reqs {
+            if successes == allowed_successes {
+                break;
+            }
+            let res = self.data_access(pc, addr, AccessKind::Load, 0, now);
+            let blocked = match &res {
+                Ok(_) => {
+                    successes += 1;
+                    false
+                }
+                Err(e) => stop_on_reject || matches!(e, IssueRejection::PortBusy),
+            };
+            results.push(res);
+            if blocked {
+                break;
+            }
+        }
+        results.len()
+    }
+
     fn data_access(
         &mut self,
         pc: Addr,
@@ -620,10 +660,20 @@ impl MemorySystem {
         }
         let line = addr.line(self.config.l1d.line_bytes);
 
-        // One set search decides hit/miss; `lookup` only mutates LRU state
-        // on a hit, so rejections below never perturb it.
-        let hit_info = self.l1d.array.lookup(addr);
-        if hit_info.is_none() {
+        // One set search decides hit/miss and, on a hit, applies the access
+        // to the array in the same pass (the fused lookup performs exactly
+        // the LRU/touch updates plus word read/write the historical
+        // lookup-then-read/write pair did). A miss mutates nothing, so the
+        // rejections below never perturb replacement state.
+        let hit_result = match kind {
+            AccessKind::Load => self.l1d.array.lookup_load(addr),
+            AccessKind::Store => self
+                .l1d
+                .array
+                .lookup_store(addr, store_value)
+                .map(|hit| (hit, store_value)),
+        };
+        if hit_result.is_none() {
             // Same-line, different-address miss pair in one cycle stalls
             // the pipelined cache (paper §2.2).
             if fidelity.pipeline_stalls && self.l1d.miss_lines_this_cycle.contains(&line.raw()) {
@@ -633,54 +683,38 @@ impl MemorySystem {
             }
         }
 
-        if let Some(hit) = hit_info {
+        if let Some((hit, value)) = hit_result {
             self.l1d.take_port();
-            self.trace_event(line, &format!("L1 {kind} hit at {:#x}", addr.raw()));
+            self.trace_event(line, || format!("L1 {kind} hit at {:#x}", addr.raw()));
             match kind {
                 AccessKind::Load => {
-                    let value = self.l1d.array.read_word(addr).expect("hit line has data");
                     self.l1d.stats.loads += 1;
                     if hit.first_touch_of_prefetch {
                         self.l1d.stats.useful_prefetches += 1;
                     }
                     self.check_value(addr, value);
-                    self.fire_l1_access(
-                        pc,
-                        addr,
-                        line,
-                        kind,
-                        AccessOutcome::Hit,
-                        hit.first_touch_of_prefetch,
-                        value,
-                    );
-                    Ok(IssueResult::Done {
-                        at: now + self.config.l1d.latency,
-                        value,
-                    })
                 }
                 AccessKind::Store => {
                     self.functional.store_architectural(addr, store_value);
-                    let ok = self.l1d.array.write_word(addr, store_value);
-                    debug_assert!(ok);
                     self.l1d.stats.stores += 1;
                     if hit.first_touch_of_prefetch {
                         self.l1d.stats.useful_prefetches += 1;
                     }
-                    self.fire_l1_access(
-                        pc,
-                        addr,
-                        line,
-                        kind,
-                        AccessOutcome::Hit,
-                        hit.first_touch_of_prefetch,
-                        store_value,
-                    );
-                    Ok(IssueResult::Done {
-                        at: now + self.config.l1d.latency,
-                        value: store_value,
-                    })
                 }
             }
+            self.fire_l1_access(
+                pc,
+                addr,
+                line,
+                kind,
+                AccessOutcome::Hit,
+                hit.first_touch_of_prefetch,
+                value,
+            );
+            Ok(IssueResult::Done {
+                at: now + self.config.l1d.latency,
+                value,
+            })
         } else {
             // Miss path: sidecar probe first.
             let probe = self
@@ -689,14 +723,13 @@ impl MemorySystem {
                 .and_then(|slot| slot.mech.probe(line, now));
             if let Some(hit) = probe {
                 self.l1d.take_port();
-                self.trace_event(
-                    line,
-                    &format!(
+                self.trace_event(line, || {
+                    format!(
                         "sidecar probe HIT ({kind}), dirty={} word0={:#x}",
                         hit.dirty,
                         hit.data.word(0)
-                    ),
-                );
+                    )
+                });
                 self.l1d.stats.sidecar_hits += 1;
                 match kind {
                     AccessKind::Load => self.l1d.stats.loads += 1,
@@ -753,10 +786,9 @@ impl MemorySystem {
                 MshrOutcome::Allocated => {
                     self.next_req += 1;
                     self.l1d.take_port();
-                    self.trace_event(
-                        line,
-                        &format!("L1 {kind} miss allocated at {:#x}", addr.raw()),
-                    );
+                    self.trace_event(line, || {
+                        format!("L1 {kind} miss allocated at {:#x}", addr.raw())
+                    });
                     self.l1d.miss_lines_this_cycle.push(line.raw());
                     self.l1d.stats.misses += 1;
                     match kind {
@@ -789,7 +821,7 @@ impl MemorySystem {
                 MshrOutcome::Merged => {
                     self.next_req += 1;
                     self.l1d.take_port();
-                    self.trace_event(line, &format!("L1 {kind} merged at {:#x}", addr.raw()));
+                    self.trace_event(line, || format!("L1 {kind} merged at {:#x}", addr.raw()));
                     self.l1d.stats.mshr_merges += 1;
                     if was_prefetch {
                         // A demand merged into an in-flight prefetch: the
@@ -1379,6 +1411,16 @@ impl MemorySystem {
     /// Advances the hierarchy to `now` (one call per CPU cycle, before any
     /// issue) and returns the requests that completed.
     pub fn begin_cycle(&mut self, now: Cycle) -> Vec<Completion> {
+        let mut out = Vec::new();
+        self.begin_cycle_into(now, &mut out);
+        out
+    }
+
+    /// Allocation-free form of [`MemorySystem::begin_cycle`]: completions
+    /// land in `out` (cleared first), so a driver loop can reuse one buffer
+    /// for the whole run instead of allocating a `Vec` per cycle.
+    pub fn begin_cycle_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        out.clear();
         self.now = now;
         self.l1d.begin_cycle();
         self.l1i.begin_cycle();
@@ -1392,7 +1434,7 @@ impl MemorySystem {
         self.drain_prefetch_queues();
         self.tick_mechanisms();
 
-        std::mem::take(&mut self.completions)
+        std::mem::swap(&mut self.completions, out);
     }
 
     fn pump_memory(&mut self) {
@@ -1461,14 +1503,13 @@ impl MemorySystem {
         let waiters = self.l2_waiters.remove(&l2_line.raw()).unwrap_or_default();
         let was_prefetch = entry.as_ref().map(|e| e.is_prefetch).unwrap_or(false);
         let data = self.functional.dram().read_line(l2_line, 64);
-        self.trace_event(
-            l2_line,
-            &format!(
+        self.trace_event(l2_line, || {
+            format!(
                 "L2 refill word0={:#x} prefetch={}",
                 data.word(0),
                 was_prefetch
-            ),
-        );
+            )
+        });
         if !self.l2.array.contains(l2_line) {
             let victim = self.l2.array.fill(l2_line, data, false, was_prefetch);
             if was_prefetch {
@@ -1777,13 +1818,14 @@ impl MemorySystem {
             // flight (probe-hit swap), in which case the buffer copy would
             // go stale the moment the cached copy is written. Discard it.
             if self.l1d.array.contains(fill.l1_line) {
-                self.trace_event(fill.l1_line, "buffer fill discarded (line now L1-resident)");
+                self.trace_event(fill.l1_line, || {
+                    "buffer fill discarded (line now L1-resident)".to_owned()
+                });
                 return;
             }
-            self.trace_event(
-                fill.l1_line,
-                &format!("fill -> mech buffer word0={:#x}", data.word(0)),
-            );
+            self.trace_event(fill.l1_line, || {
+                format!("fill -> mech buffer word0={:#x}", data.word(0))
+            });
             self.l1d.stats.prefetch_fills += 1;
             if let Some(slot) = &mut self.l1_mech {
                 let ev = RefillEvent {
@@ -1826,14 +1868,13 @@ impl MemorySystem {
             }
         }
 
-        self.trace_event(
-            fill.l1_line,
-            &format!(
+        self.trace_event(fill.l1_line, || {
+            format!(
                 "L1 fill install word0={:#x} targets={}",
                 data.word(0),
                 entry.targets.len()
-            ),
-        );
+            )
+        });
         if !self.l1d.array.contains(fill.l1_line) {
             let prefetched = fill.prefetched && entry.is_prefetch;
             if prefetched {
@@ -1877,10 +1918,9 @@ impl MemorySystem {
     fn finish_buffer_fill(&mut self, fill: L1Fill) {
         self.buffer_inflight.remove(&fill.l1_line.raw());
         if self.l1d.array.contains(fill.l1_line) || self.l1d.mshr.contains(fill.l1_line) {
-            self.trace_event(
-                fill.l1_line,
-                "buffer fill discarded (resident/in-flight demand)",
-            );
+            self.trace_event(fill.l1_line, || {
+                "buffer fill discarded (resident/in-flight demand)".to_owned()
+            });
             return;
         }
         let data = self
@@ -1897,10 +1937,9 @@ impl MemorySystem {
                     .dram()
                     .read_line(fill.l1_line, self.config.l1d.line_bytes)
             });
-        self.trace_event(
-            fill.l1_line,
-            &format!("fill -> mech buffer word0={:#x}", data.word(0)),
-        );
+        self.trace_event(fill.l1_line, || {
+            format!("fill -> mech buffer word0={:#x}", data.word(0))
+        });
         self.l1d.stats.prefetch_fills += 1;
         if let Some(slot) = &mut self.l1_mech {
             let ev = RefillEvent {

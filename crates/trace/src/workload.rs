@@ -294,6 +294,29 @@ impl Workload {
         }
     }
 
+    /// Process-wide shared instantiation of `profile` with `seed`, keyed by
+    /// `(profile.name, seed)`. Instantiation lays out a multi-megabyte
+    /// memory image, which dominates the cost of short runs; every run of
+    /// the same (benchmark, seed) pair can share one immutable instance
+    /// ([`Workload::initialize`] stamps copy-on-write clones, and
+    /// [`Workload::stream`] starts fresh cursors, so sharing is invisible).
+    ///
+    /// The name is the cache key: callers must pass profiles from the
+    /// built-in registry (`benchmarks::by_name`), where a name denotes one
+    /// profile. Hand-built profiles should use [`Workload::new`].
+    pub fn shared(profile: BenchmarkProfile, seed: u64) -> Arc<Workload> {
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+        type Cache = Mutex<HashMap<(&'static str, u64), Arc<Workload>>>;
+        static CACHE: OnceLock<Cache> = OnceLock::new();
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        let mut map = cache.lock().unwrap_or_else(|e| e.into_inner());
+        Arc::clone(
+            map.entry((profile.name, seed))
+                .or_insert_with(|| Arc::new(Workload::new(profile, seed))),
+        )
+    }
+
     /// The profile this workload instantiates.
     pub fn profile(&self) -> &BenchmarkProfile {
         &self.profile
