@@ -52,6 +52,8 @@
 //! detected (checksums + embedded keys) and silently recomputed.
 
 use crate::disk::DiskCache;
+use crate::lease::{Claim, LeaseManager};
+use crate::shard::ShardSpec;
 use crate::simulator::{RunResult, SimError, SimOptions};
 use microlib_mech::MechanismKind;
 use microlib_mem::{capture_warm_state, WarmState};
@@ -62,6 +64,7 @@ use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 /// A stable identity string for a [`SystemConfig`]: every field, via the
 /// `Debug` rendering (exhaustive by construction — new fields show up
@@ -145,6 +148,14 @@ pub struct ArtifactStoreStats {
     pub plan_disk_hits: u64,
     /// Warm states served from the on-disk tier.
     pub warm_disk_hits: u64,
+    /// Cells this process claimed (and computed) through the lease layer.
+    pub lease_claims: u64,
+    /// Cells this process waited out instead of computing: another
+    /// worker held the lease (or owned the shard) and the memo arrived.
+    pub lease_waits: u64,
+    /// Cells refused because they were quarantined (crashed too many
+    /// consecutive claimers).
+    pub cells_quarantined: u64,
 }
 
 impl ArtifactStoreStats {
@@ -183,6 +194,9 @@ impl ArtifactStoreStats {
 pub struct ArtifactStore {
     enabled: bool,
     disk: Option<DiskCache>,
+    lease: Option<LeaseManager>,
+    shard: Option<ShardSpec>,
+    steal_grace: Duration,
     traces: Mutex<HashMap<(&'static str, u64), Arc<TraceSlot>>>,
     warm: Mutex<HashMap<WarmKey, Arc<Mutex<WarmGate>>>>,
     plans: Mutex<HashMap<PlanKey, Arc<PlanSlot>>>,
@@ -199,6 +213,9 @@ pub struct ArtifactStore {
     memo_disk_hits: AtomicU64,
     plan_disk_hits: AtomicU64,
     warm_disk_hits: AtomicU64,
+    lease_claims: AtomicU64,
+    lease_waits: AtomicU64,
+    cells_quarantined: AtomicU64,
 }
 
 impl std::fmt::Debug for ArtifactStore {
@@ -222,6 +239,14 @@ impl ArtifactStore {
         ArtifactStore {
             enabled,
             disk: None,
+            lease: None,
+            shard: None,
+            steal_grace: Duration::from_millis(
+                std::env::var("MICROLIB_STEAL_GRACE_MS")
+                    .ok()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(1_500),
+            ),
             traces: Mutex::new(HashMap::new()),
             warm: Mutex::new(HashMap::new()),
             plans: Mutex::new(HashMap::new()),
@@ -238,6 +263,9 @@ impl ArtifactStore {
             memo_disk_hits: AtomicU64::new(0),
             plan_disk_hits: AtomicU64::new(0),
             warm_disk_hits: AtomicU64::new(0),
+            lease_claims: AtomicU64::new(0),
+            lease_waits: AtomicU64::new(0),
+            cells_quarantined: AtomicU64::new(0),
         }
     }
 
@@ -266,16 +294,51 @@ impl ArtifactStore {
         self.disk.as_ref()
     }
 
+    /// Attaches a [`LeaseManager`]: memoized cells are then claimed
+    /// through first-writer-wins lease files before simulation, so
+    /// concurrent processes sharing the disk tier each compute a cell at
+    /// most once (see the [`crate::LeaseManager`] docs for the protocol,
+    /// crash recovery and quarantine). Only meaningful together with a
+    /// disk tier rooted at the same directory.
+    pub fn with_lease_manager(mut self, lease: LeaseManager) -> Self {
+        self.lease = self.enabled.then_some(lease);
+        self
+    }
+
+    /// Sets this process's shard: memo misses on cells *another* shard
+    /// owns first wait out a grace period (`MICROLIB_STEAL_GRACE_MS`,
+    /// default 1500 ms) for the owner's memo before claiming the cell
+    /// themselves — the partition steers work while the lease layer
+    /// keeps it correct and live (see [`ShardSpec`]).
+    pub fn with_shard(mut self, shard: ShardSpec) -> Self {
+        self.shard = Some(shard);
+        self
+    }
+
     /// A store honouring the `MICROLIB_ARTIFACTS` environment variable
     /// (enabled unless it is `off`, `0` or `false`), with an on-disk tier
     /// at `MICROLIB_CACHE_DIR` when that is set to a path (unset, empty,
-    /// `off`, `0` and `false` mean memory-only).
+    /// `off`, `0` and `false` mean memory-only). When the disk tier is
+    /// active and multi-process coordination is requested —
+    /// `MICROLIB_SHARD` is set, or `MICROLIB_LEASE` is `on`/`1`/`true` —
+    /// the store also claims cells through lease files in the cache dir.
     pub fn from_env() -> Self {
-        let store = Self::with_enabled(Self::enabled_by_env());
-        match Self::cache_dir_from_env() {
-            Some(dir) => store.with_disk_cache(dir),
-            None => store,
+        let mut store = Self::with_enabled(Self::enabled_by_env());
+        if let Some(dir) = Self::cache_dir_from_env() {
+            store = store.with_disk_cache(dir.clone());
+            let shard = ShardSpec::from_env();
+            let lease_on = matches!(
+                std::env::var("MICROLIB_LEASE").as_deref(),
+                Ok("on" | "1" | "true")
+            );
+            if store.disk.is_some() && (shard.is_some() || lease_on) {
+                store = store.with_lease_manager(LeaseManager::new(dir));
+                if let Some(shard) = shard {
+                    store = store.with_shard(shard);
+                }
+            }
         }
+        store
     }
 
     /// The disk-cache directory `MICROLIB_CACHE_DIR` requests, if any.
@@ -317,6 +380,9 @@ impl ArtifactStore {
             memo_disk_hits: self.memo_disk_hits.load(Ordering::Relaxed),
             plan_disk_hits: self.plan_disk_hits.load(Ordering::Relaxed),
             warm_disk_hits: self.warm_disk_hits.load(Ordering::Relaxed),
+            lease_claims: self.lease_claims.load(Ordering::Relaxed),
+            lease_waits: self.lease_waits.load(Ordering::Relaxed),
+            cells_quarantined: self.cells_quarantined.load(Ordering::Relaxed),
         }
     }
 
@@ -556,7 +622,12 @@ impl ArtifactStore {
         )
     }
 
-    pub(crate) fn memo_get(&self, key: &str) -> Option<Arc<RunResult>> {
+    /// RAM-then-disk memo lookup that counts *hits only* — a miss is not
+    /// a `memo_misses` yet, because under leases the caller may wait for
+    /// another worker's memo instead of computing. `memo_misses` (the
+    /// "cells recomputed" number) is counted exactly once per actual
+    /// computation, in [`memo_run`](ArtifactStore::memo_run).
+    pub(crate) fn memo_probe(&self, key: &str) -> Option<Arc<RunResult>> {
         if let Some(hit) = self.memo.lock().expect("memo lock").get(key).cloned() {
             self.memo_hits.fetch_add(1, Ordering::Relaxed);
             return Some(hit);
@@ -573,8 +644,108 @@ impl ArtifactStore {
                 return Some(result);
             }
         }
-        self.memo_misses.fetch_add(1, Ordering::Relaxed);
         None
+    }
+
+    /// Resolves a memoized cell: probe, else compute-and-journal —
+    /// through the lease layer when one is attached, so across concurrent
+    /// processes each cell is computed at most once.
+    ///
+    /// Without a lease manager this is exactly the old miss path: count
+    /// the miss, run `compute`, journal. With one, the claim loop of the
+    /// [`LeaseManager`] docs runs instead; `cell` and `repro` feed its
+    /// quarantine reports, and a panic unwinding out of `compute`
+    /// abandons the claim (counting toward quarantine) before resuming.
+    pub(crate) fn memo_run(
+        &self,
+        key: &str,
+        cell: &str,
+        benchmark: &str,
+        repro: &str,
+        compute: impl FnOnce() -> Result<RunResult, SimError>,
+    ) -> Result<Arc<RunResult>, SimError> {
+        let Some(lease) = &self.lease else {
+            self.memo_misses.fetch_add(1, Ordering::Relaxed);
+            let result = compute()?;
+            self.memo_put(key.to_owned(), result);
+            return Ok(self.memo.lock().expect("memo lock")[key].clone());
+        };
+        // Re-claiming after Busy/steal loops back here; the closure can
+        // only actually run once, so carry it in an Option.
+        let mut compute = Some(compute);
+        let started = Instant::now();
+        let mut waited = false;
+        let mut poll = Duration::from_millis(5);
+        let poll_cap = std::cmp::max(poll, Duration::from_millis(200).min(lease.timeout() / 3));
+        loop {
+            if let Some(hit) = self.memo_probe(key) {
+                if waited {
+                    self.lease_waits.fetch_add(1, Ordering::Relaxed);
+                }
+                return Ok(hit);
+            }
+            // Shard steering: give the owning shard a grace period to
+            // publish its memo before claiming its cell.
+            if let Some(shard) = &self.shard {
+                if !shard.owns(key) && started.elapsed() < self.steal_grace {
+                    waited = true;
+                    std::thread::sleep(poll);
+                    poll = (poll * 2).min(poll_cap);
+                    continue;
+                }
+            }
+            match lease.claim(key, cell, repro) {
+                Claim::Acquired(guard) => {
+                    self.lease_claims.fetch_add(1, Ordering::Relaxed);
+                    self.memo_misses.fetch_add(1, Ordering::Relaxed);
+                    let compute = compute.take().expect("claim acquired once");
+                    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(compute));
+                    match outcome {
+                        Ok(Ok(result)) => {
+                            self.memo_put(key.to_owned(), result);
+                            guard.complete();
+                            return Ok(self.memo.lock().expect("memo lock")[key].clone());
+                        }
+                        Ok(Err(e)) => {
+                            // A deterministic failure, not a crash: the
+                            // guard's Drop releases lease + attempts (a
+                            // retry would fail identically).
+                            drop(guard);
+                            return Err(e);
+                        }
+                        Err(payload) => {
+                            // Crash-like: keep the attempt on record and
+                            // expire the lease so the next claimer
+                            // retries — or quarantines.
+                            guard.abandon();
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                }
+                Claim::Busy => {
+                    waited = true;
+                    std::thread::sleep(poll);
+                    poll = (poll * 2).min(poll_cap);
+                }
+                Claim::Quarantined { attempts } => {
+                    self.cells_quarantined.fetch_add(1, Ordering::Relaxed);
+                    return Err(crate::lease::quarantined_error(benchmark, attempts));
+                }
+            }
+        }
+    }
+
+    /// Clean-shutdown sweep for multi-process runs: releases every lease
+    /// this process still holds and fsyncs the memo journal, so a
+    /// follow-up run neither waits out stale-lease timeouts nor loses
+    /// journaled cells to a machine crash. A no-op without those tiers.
+    pub fn finish(&self) {
+        if let Some(lease) = &self.lease {
+            lease.release_owned();
+        }
+        if let Some(disk) = &self.disk {
+            disk.sync_class("memo");
+        }
     }
 
     /// Journals a completed cell: into RAM and — with a disk tier — as

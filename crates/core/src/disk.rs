@@ -112,6 +112,21 @@ impl DiskCache {
         if fs::create_dir_all(dir).is_err() {
             return;
         }
+        match crate::fault::injected("disk-write", class) {
+            Some(crate::fault::FaultKind::Torn) => {
+                // A torn write: half the framed entry lands at the FINAL
+                // path (deliberately bypassing the atomic rename), which
+                // readers must reject as a miss and a later write must
+                // replace. This is the crash the temp+rename discipline
+                // exists to prevent — injected here so tests can prove
+                // the read path survives it anyway.
+                let framed = encode_entry(key, payload);
+                let _ = fs::write(&path, &framed[..framed.len() / 2]);
+                return;
+            }
+            Some(kind) => crate::fault::execute(kind, "disk-write", class),
+            None => {}
+        }
         // Unique temp name per process *and* per write: concurrent
         // writers never clobber each other's partial file, and rename
         // makes publication atomic on the same filesystem.
@@ -125,6 +140,27 @@ impl DiskCache {
         if fs::write(&tmp, encode_entry(key, payload)).is_err() || fs::rename(&tmp, &path).is_err()
         {
             let _ = fs::remove_file(&tmp);
+        }
+    }
+
+    /// Fsyncs every entry of `class` and the class directory itself, so
+    /// a clean worker exit guarantees its journaled memos survive a
+    /// machine crash (rename gives atomicity, not durability). Best
+    /// effort, like every other cache operation.
+    pub fn sync_class(&self, class: &str) {
+        let dir = self.root.join(class);
+        let Ok(entries) = fs::read_dir(&dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            if entry.path().extension().and_then(|e| e.to_str()) == Some("bin") {
+                if let Ok(f) = fs::File::open(entry.path()) {
+                    let _ = f.sync_all();
+                }
+            }
+        }
+        if let Ok(d) = fs::File::open(&dir) {
+            let _ = d.sync_all();
         }
     }
 }

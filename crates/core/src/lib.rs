@@ -57,10 +57,13 @@ mod artifacts;
 mod campaign;
 mod disk;
 mod experiment;
+pub mod fault;
+mod lease;
 mod ranking;
 pub mod report;
 mod sampling;
 mod sensitivity;
+mod shard;
 mod simulator;
 mod validation;
 
@@ -68,11 +71,13 @@ pub use artifacts::{config_key, ArtifactStore, ArtifactStoreStats};
 pub use campaign::{Campaign, CampaignCell, CampaignReport, CellUpdate};
 pub use disk::{DiskCache, FORMAT_VERSION};
 pub use experiment::{run_matrix, ExperimentConfig, Matrix};
+pub use lease::{set_run_scope, Claim, LeaseGuard, LeaseManager, QuarantineReport};
 pub use ranking::{
     rank_mechanisms, ranking_row, subset_winner_analysis, RankedMechanism, SubsetWinners,
 };
 pub use sampling::SamplingMode;
 pub use sensitivity::{benchmark_sensitivity, sensitivity_classes, BenchmarkSensitivity};
+pub use shard::ShardSpec;
 pub use simulator::{
     run_custom, run_custom_keyed, run_custom_with, run_one, run_one_with, RunResult, SimError,
     SimOptions,

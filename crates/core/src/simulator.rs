@@ -294,6 +294,15 @@ pub enum SimError {
         /// Budget that was exhausted.
         cycles: u64,
     },
+    /// The cell crashed too many consecutive workers and was quarantined
+    /// by the lease layer (see [`crate::LeaseManager`]); it was not
+    /// computed, but the rest of the battery still completes.
+    Quarantined {
+        /// Benchmark of the poisoned cell.
+        benchmark: String,
+        /// Crashed attempts recorded before quarantine.
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -306,6 +315,15 @@ impl fmt::Display for SimError {
             }
             SimError::Timeout { benchmark, cycles } => {
                 write!(f, "{benchmark}: exceeded {cycles}-cycle budget")
+            }
+            SimError::Quarantined {
+                benchmark,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "{benchmark}: quarantined after {attempts} crashed attempts"
+                )
             }
         }
     }
@@ -405,24 +423,42 @@ pub fn run_one_with(
         );
     }
     let key = ArtifactStore::memo_key(config, mechanism, benchmark, opts);
-    if let Some(hit) = store.memo_get(&key) {
+    if let Some(hit) = store.memo_probe(&key) {
         return Ok((*hit).clone());
     }
-    let result = if opts.sampling.is_sampled() {
-        run_sampled(Some(store), Arc::clone(config), mechanism, benchmark, opts)?
-    } else {
-        simulate(
-            Some(store),
-            Arc::clone(config),
-            mechanism.build(),
-            mechanism,
-            benchmark,
-            opts,
-            0,
-        )?
-    };
-    store.memo_put(key, result.clone());
-    Ok(result)
+    let result = store.memo_run(
+        &key,
+        &format!("{benchmark} x {mechanism}"),
+        benchmark,
+        &repro_hint(opts),
+        || {
+            crate::fault::trigger("cell", &format!("{benchmark}+{mechanism}"));
+            if opts.sampling.is_sampled() {
+                run_sampled(Some(store), Arc::clone(config), mechanism, benchmark, opts)
+            } else {
+                simulate(
+                    Some(store),
+                    Arc::clone(config),
+                    mechanism.build(),
+                    mechanism,
+                    benchmark,
+                    opts,
+                    0,
+                )
+            }
+        },
+    )?;
+    Ok((*result).clone())
+}
+
+/// The environment part of a quarantined cell's minimized repro command:
+/// enough to replay exactly this window and seed single-process, without
+/// the cache (so the repro actually re-executes the crashing cell).
+fn repro_hint(opts: &SimOptions) -> String {
+    format!(
+        "MICROLIB_SKIP={} MICROLIB_SIM={} MICROLIB_SEED={:#x} run_all --no-cache",
+        opts.window.skip, opts.window.simulate, opts.seed
+    )
 }
 
 /// Like [`run_one`] but with a caller-constructed mechanism instance —
@@ -511,20 +547,28 @@ pub fn run_custom_keyed(
         "{}|variant={variant}",
         ArtifactStore::memo_key(config, label, benchmark, opts)
     );
-    if let Some(hit) = store.memo_get(&key) {
+    if let Some(hit) = store.memo_probe(&key) {
         return Ok((*hit).clone());
     }
-    let result = simulate(
-        Some(store),
-        Arc::clone(config),
-        mech,
-        label,
+    let result = store.memo_run(
+        &key,
+        &format!("{benchmark} x {label} [{variant}]"),
         benchmark,
-        opts,
-        0,
+        &repro_hint(opts),
+        || {
+            crate::fault::trigger("cell", &format!("{benchmark}+{label}"));
+            simulate(
+                Some(store),
+                Arc::clone(config),
+                mech,
+                label,
+                benchmark,
+                opts,
+                0,
+            )
+        },
     )?;
-    store.memo_put(key, result.clone());
-    Ok(result)
+    Ok((*result).clone())
 }
 
 /// Builds the warmed system for a run: functional memory initialized,
