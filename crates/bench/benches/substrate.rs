@@ -7,9 +7,10 @@
 use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
 use microlib::{run_one, SimOptions};
 use microlib_mech::MechanismKind;
-use microlib_mem::{CacheArray, MemToken, MshrFile, MshrTarget, Sdram};
+use microlib_mem::{CacheArray, MemToken, MemorySystem, MshrFile, MshrTarget, Sdram};
 use microlib_model::{Addr, CacheConfig, Cycle, LineData, SdramConfig, SystemConfig};
-use microlib_trace::{benchmarks, TraceWindow, Workload};
+use microlib_trace::{benchmarks, TraceBuffer, TraceWindow, Workload};
+use std::sync::Arc;
 
 fn cache_array(c: &mut Criterion) {
     let mut group = c.benchmark_group("cache_array");
@@ -111,6 +112,26 @@ fn workload_generation(c: &mut Criterion) {
     group.finish();
 }
 
+fn warmup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("warmup");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(10_000));
+    group.bench_function("warm_inst_10k", |b| {
+        let cfg: Arc<SystemConfig> = Arc::new(SystemConfig::baseline());
+        let workload = Workload::new(benchmarks::by_name("swim").unwrap(), 1);
+        let buf = Arc::new(TraceBuffer::capture(&workload, 10_000));
+        b.iter(|| {
+            let mut mem = MemorySystem::new(Arc::clone(&cfg), Vec::new()).unwrap();
+            workload.initialize(mem.functional_mut());
+            for inst in TraceBuffer::replay(&buf) {
+                mem.warm_inst(inst.pc, inst.warm_mem_ref());
+            }
+            black_box(mem.finish_warmup())
+        });
+    });
+    group.finish();
+}
+
 fn end_to_end(c: &mut Criterion) {
     let mut group = c.benchmark_group("simulator");
     group.sample_size(10);
@@ -134,6 +155,7 @@ criterion_group!(
     mshr,
     sdram,
     workload_generation,
+    warmup,
     end_to_end
 );
 criterion_main!(benches);

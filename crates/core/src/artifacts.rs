@@ -470,17 +470,28 @@ impl ArtifactStore {
             self.warm_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Some(Arc::clone(state)));
         }
-        let disk_key = format!(
-            "{}|seed={:#x}|skip={skip}|start={warm_start}|{ckey}",
-            buffer.benchmark(),
-            seed,
-        );
+        // The disk key is only built when a disk tier exists: most warm
+        // requests resolve in memory (hit, or first-requester decline), and
+        // the formatting must cost nothing there — same lazy discipline as
+        // `trace_event`.
+        let disk_key = self.disk.as_ref().map(|_| {
+            format!(
+                "{}|seed={:#x}|skip={skip}|start={warm_start}|{ckey}",
+                buffer.benchmark(),
+                seed,
+            )
+        });
         // A disk hit short-circuits the capture gate entirely: the state
         // was already earned by an earlier process. Warm entries encode
         // the functional memory as a delta against the workload's initial
         // image, which is regenerated here (cheap: the workload keeps a
         // prebuilt copy-on-write image).
-        if let Some(payload) = self.disk.as_ref().and_then(|d| d.load("warm", &disk_key)) {
+        if let Some(payload) = self
+            .disk
+            .as_ref()
+            .zip(disk_key.as_deref())
+            .and_then(|(d, key)| d.load("warm", key))
+        {
             let mut base = microlib_mem::FunctionalMemory::new();
             workload.initialize(&mut base);
             let mut d = Decoder::new(&payload);
@@ -506,7 +517,7 @@ impl ArtifactStore {
             capture_warm_state(Arc::clone(config), |fm| workload.initialize(fm), insts)
                 .expect("configuration validated above"),
         );
-        if let Some(disk) = &self.disk {
+        if let Some((disk, key)) = self.disk.as_ref().zip(disk_key.as_deref()) {
             let mut base = microlib_mem::FunctionalMemory::new();
             workload.initialize(&mut base);
             let mut e = Encoder::new();
@@ -516,7 +527,7 @@ impl ArtifactStore {
             // entries under the cap (memos and plans — the artifacts that
             // make re-runs incremental — are never capped).
             if e.as_bytes().len() <= warm_disk_cap() {
-                disk.store("warm", &disk_key, e.as_bytes());
+                disk.store("warm", key, e.as_bytes());
             }
         }
         gate.state = Some(Arc::clone(&state));

@@ -23,6 +23,33 @@ use std::sync::Arc;
 const PAGE_WORDS: usize = 512; // 4 KB pages
 const PAGE_SHIFT: u64 = 12;
 
+/// Cheap multiply-and-shift hasher for the page maps: page indices are
+/// small, low-entropy integers, and every simulated load/store pays one
+/// lookup, so the default SipHash is measurable overhead. Not an exposed
+/// collection — HashDoS hardening buys nothing here.
+#[derive(Clone, Copy, Debug, Default)]
+struct PageIndexHasher(u64);
+
+impl std::hash::Hasher for PageIndexHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback (FNV-1a); page keys take the `write_u64` path.
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+    fn write_u64(&mut self, v: u64) {
+        // Fibonacci multiply + xor-shift spreads consecutive page indices
+        // across the table.
+        let h = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        self.0 = h ^ (h >> 29);
+    }
+}
+
+type PageMap = HashMap<u64, Arc<[u64; PAGE_WORDS]>, std::hash::BuildHasherDefault<PageIndexHasher>>;
+
 /// A sparse 64-bit-word memory over the full address space.
 ///
 /// Unwritten words read as zero. Addresses are byte addresses; word accesses
@@ -47,14 +74,14 @@ const PAGE_SHIFT: u64 = 12;
 /// ```
 #[derive(Clone, Debug, Default)]
 pub struct SparseMemory {
-    pages: HashMap<u64, Arc<[u64; PAGE_WORDS]>>,
+    pages: PageMap,
 }
 
 impl SparseMemory {
     /// Creates an empty (all-zero) memory.
     pub fn new() -> Self {
         SparseMemory {
-            pages: HashMap::new(),
+            pages: PageMap::default(),
         }
     }
 
@@ -95,6 +122,18 @@ impl SparseMemory {
         let base = addr.line(line_bytes);
         let words = (line_bytes / 8) as usize;
         let mut line = LineData::zeroed(words);
+        let (page, word0) = Self::split(base);
+        if word0 + words <= PAGE_WORDS {
+            // A line within one page (every aligned line whose size divides
+            // the page size): one map lookup covers all its words; an
+            // absent page reads as zeros.
+            if let Some(p) = self.pages.get(&page) {
+                for i in 0..words {
+                    line.set_word(i, p[word0 + i]);
+                }
+            }
+            return line;
+        }
         for i in 0..words {
             line.set_word(i, self.read_word(base.offset((i * 8) as i64)));
         }
@@ -104,7 +143,24 @@ impl SparseMemory {
     /// Writes a whole line at the line-aligned address containing `addr`.
     pub fn write_line(&mut self, addr: Addr, data: &LineData) {
         let base = addr.line(data.byte_len());
-        for (i, w) in data.words().iter().enumerate() {
+        let words = data.words();
+        let (page, word0) = Self::split(base);
+        if word0 + words.len() <= PAGE_WORDS {
+            // Single-page fast path (one lookup, not one per word). An
+            // all-zero line onto an untouched page stays a no-op, matching
+            // the per-word semantics.
+            if !self.pages.contains_key(&page) && words.iter().all(|&w| w == 0) {
+                return;
+            }
+            let p = self
+                .pages
+                .entry(page)
+                .or_insert_with(|| Arc::new([0; PAGE_WORDS]));
+            let p = Arc::make_mut(p);
+            p[word0..word0 + words.len()].copy_from_slice(words);
+            return;
+        }
+        for (i, w) in words.iter().enumerate() {
             self.write_word(base.offset((i * 8) as i64), *w);
         }
     }

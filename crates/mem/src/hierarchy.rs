@@ -22,7 +22,7 @@ use crate::bus::Bus;
 use crate::cache::{CacheArray, Victim};
 use crate::functional::{FunctionalMemory, IntegrityError};
 use crate::mshr::{MshrFile, MshrOutcome, MshrTarget};
-use crate::sdram::{MainMemory, MemToken};
+use crate::sdram::{MainMemory, MemDone, MemToken};
 use crate::warmup::{WarmCheckpoint, WarmEvent, WarmLog};
 use microlib_model::{
     AccessEvent, AccessKind, AccessOutcome, Addr, AttachPoint, CacheStats, ConfigError, Cycle,
@@ -30,7 +30,7 @@ use microlib_model::{
     PrefetchDestination, PrefetchQueue, PrefetchQueueStats, RefillCause, RefillEvent, SystemConfig,
     VictimAction,
 };
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Identifies an outstanding CPU-visible request (load, store or ifetch).
@@ -136,11 +136,6 @@ struct MemReq {
     l2_line: Addr,
     is_write: bool,
     ready_at: Cycle,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct MemInflight {
-    l2_line: Addr,
 }
 
 struct CacheUnit {
@@ -253,10 +248,21 @@ pub struct MemorySystem {
     l1_fills: Vec<L1Fill>,
     l2_refills: Vec<L2Refill>,
     mem_pending: VecDeque<MemReq>,
-    mem_inflight: HashMap<u64, MemInflight>,
-    l2_waiters: HashMap<u64, Vec<Origin>>,
+    /// Outstanding SDRAM reads, `(token, l2_line)`. A handful at most
+    /// (bounded by the controller queue), so a linear scan beats hashing.
+    mem_inflight: Vec<(u64, Addr)>,
+    /// L1-side requesters waiting on an in-flight L2 miss, `(l2_line,
+    /// origin)` in arrival order. Flat so the per-refill drain is one
+    /// `retain` pass instead of a `HashMap` remove + `Vec` free.
+    l2_waiters: Vec<(u64, Origin)>,
     /// 32-byte lines with an in-flight buffer-destination prefetch.
-    buffer_inflight: std::collections::HashSet<u64>,
+    buffer_inflight: Vec<u64>,
+    /// Reusable scratch: drained waiters for the refill in progress.
+    waiter_scratch: Vec<Origin>,
+    /// Reusable scratch for [`MshrFile::complete_into`] target lists.
+    mshr_targets: Vec<MshrTarget>,
+    /// Reusable scratch for [`MainMemory::tick_into`] completions.
+    mem_done: Vec<MemDone>,
     next_req: u64,
     next_token: u64,
     now: Cycle,
@@ -267,12 +273,22 @@ pub struct MemorySystem {
     trace_line: Option<Addr>,
     warming: bool,
     warm_prefetch_fill: bool,
-    /// Last instruction line the warm path looked up in the L1I. Warm
-    /// instruction fetches are sequential within a basic block, so the
-    /// repeat lookup (a hit that would only re-assert MRU on the line
-    /// that is already MRU) can be skipped exactly; invalidated whenever
-    /// the L1I can change outside `warm_inst`.
-    warm_last_iline: Option<u64>,
+    /// `(line, slot)` of the last warm instruction fetch that hit the
+    /// L1I. Warm instruction fetches are sequential within a basic block,
+    /// so the repeat lookup can skip the set scan and go straight to the
+    /// touch (the slot is re-validated with `warm_slot_hit`, so L2
+    /// back-invalidations are caught); the array update is byte-identical
+    /// to the full-lookup path. Cleared whenever the L1I can change
+    /// outside `warm_inst`.
+    warm_last_iline: Option<(u64, usize)>,
+    /// `(line, slot)` of the last warm data access that hit (or installed
+    /// and touched) an L1D line. While it stands, a repeated same-line
+    /// warm access can skip the set scan and go straight to the touch
+    /// (after re-validating the slot with `warm_slot_hit`), leaving the
+    /// array byte-identical to the full-lookup path. Cleared whenever the
+    /// L1D can change under it: any warm fill or back-invalidation, and
+    /// on leaving / re-entering warm mode.
+    warm_last_dline: Option<(u64, usize)>,
     warm_clock: u64,
     l1d_stats_base: CacheStats,
     l1i_stats_base: CacheStats,
@@ -343,9 +359,12 @@ impl MemorySystem {
             l1_fills: Vec::new(),
             l2_refills: Vec::new(),
             mem_pending: VecDeque::new(),
-            mem_inflight: HashMap::new(),
-            l2_waiters: HashMap::new(),
-            buffer_inflight: std::collections::HashSet::new(),
+            mem_inflight: Vec::new(),
+            l2_waiters: Vec::new(),
+            buffer_inflight: Vec::new(),
+            waiter_scratch: Vec::new(),
+            mshr_targets: Vec::new(),
+            mem_done: Vec::new(),
             next_req: 0,
             next_token: 0,
             now: Cycle::ZERO,
@@ -356,6 +375,7 @@ impl MemorySystem {
             warming: false,
             warm_prefetch_fill: false,
             warm_last_iline: None,
+            warm_last_dline: None,
             warm_clock: 0,
             l1d_stats_base: CacheStats::default(),
             l1i_stats_base: CacheStats::default(),
@@ -492,6 +512,9 @@ impl MemorySystem {
     /// memory path.
     fn handle_l2_victim(&mut self, mut victim: Victim) {
         self.trace_event(victim.line, || format!("L2 evict dirty={}", victim.dirty));
+        // Back-invalidation can remove the warm fast paths' cached lines.
+        self.warm_last_dline = None;
+        self.warm_last_iline = None;
         let l1_bytes = self.config.l1d.line_bytes;
         let halves = (self.config.l2.line_bytes / l1_bytes) as usize;
         for h in 0..halves {
@@ -970,20 +993,29 @@ impl MemorySystem {
         self.warm_clock += 2; // synthetic ~IPC-0.5 clock for decay counters
         self.now = Cycle::new(self.warm_clock);
         // Instruction side. Consecutive fetches from the line that is
-        // already MRU skip the lookup — exact (see `warm_last_iline`).
+        // already MRU skip the tag scan (the touch itself still runs, so
+        // the array stays byte-identical to the full-lookup path); the slot
+        // re-validation catches L2 back-invalidations.
         let iline = pc.line(self.config.l1i.line_bytes);
-        if self.warm_last_iline != Some(iline.raw()) {
-            if self.l1i.array.lookup(pc).is_none() {
-                self.l1i.stats.misses += 1;
-                self.warm_l2_fetch(iline.line(self.config.l2.line_bytes), pc, AccessKind::Load);
-                let words = (self.config.l1i.line_bytes / 8) as usize;
-                if !self.l1i.array.contains(iline) {
-                    self.l1i
-                        .array
-                        .fill(iline, LineData::zeroed(words), false, false);
-                }
+        let fast_slot = self.warm_last_iline.and_then(|(l, slot)| {
+            (l == iline.raw() && self.l1i.array.warm_slot_hit(slot, pc)).then_some(slot)
+        });
+        if let Some(slot) = fast_slot {
+            self.l1i.array.warm_touch(slot, pc);
+        } else if let Some((_, slot)) = self.l1i.array.lookup_slot(pc) {
+            self.warm_last_iline = Some((iline.raw(), slot));
+        } else {
+            self.l1i.stats.misses += 1;
+            self.warm_l2_fetch(iline.line(self.config.l2.line_bytes), pc, AccessKind::Load);
+            let words = (self.config.l1i.line_bytes / 8) as usize;
+            if !self.l1i.array.contains(iline) {
+                self.l1i
+                    .array
+                    .fill(iline, LineData::zeroed(words), false, false);
             }
-            self.warm_last_iline = Some(iline.raw());
+            // The freshly filled line is not yet demand-touched; the next
+            // fetch primes the fast path through a full lookup.
+            self.warm_last_iline = None;
         }
         self.l1i.stats.loads += 1;
         // Data side.
@@ -1060,6 +1092,7 @@ impl MemorySystem {
                 });
             self.l1d.stats.prefetch_fills += 1;
             if req.destination == PrefetchDestination::Cache {
+                self.warm_last_dline = None;
                 let victim = self.l1d.array.fill(req.line, data, false, true);
                 if let Some(v) = victim {
                     self.handle_l1_victim(v);
@@ -1116,24 +1149,42 @@ impl MemorySystem {
             AccessKind::Load => self.l1d.stats.loads += 1,
             AccessKind::Store => self.l1d.stats.stores += 1,
         }
-        if self.l1d.array.lookup(addr).is_some() {
+        // Fast path: the previous warm data access left this same line MRU
+        // and TOUCHED (see `warm_last_dline`), so the set scan can be
+        // skipped; the touch itself still runs, leaving the array
+        // byte-identical to the full-lookup path.
+        if let Some((cached_line, slot)) = self.warm_last_dline {
+            if cached_line == line.raw() && self.l1d.array.warm_slot_hit(slot, addr) {
+                self.l1d.array.warm_touch(slot, addr);
+                if kind.is_store() {
+                    self.functional.store_architectural(addr, store_value);
+                    self.l1d.array.warm_slot_store(slot, addr, store_value);
+                }
+                if self.l1_mech.is_some() {
+                    let value = if kind.is_store() {
+                        store_value
+                    } else {
+                        self.functional.architectural(addr)
+                    };
+                    self.fire_l1_access(pc, addr, line, kind, AccessOutcome::Hit, false, value);
+                }
+                return;
+            }
+        }
+        if let Some((_, slot)) = self.l1d.array.lookup_slot(addr) {
             if kind.is_store() {
                 self.functional.store_architectural(addr, store_value);
                 self.l1d.array.write_word(addr, store_value);
             }
-            self.fire_l1_access(
-                pc,
-                addr,
-                line,
-                kind,
-                AccessOutcome::Hit,
-                false,
-                if kind.is_store() {
+            self.warm_last_dline = Some((line.raw(), slot));
+            if self.l1_mech.is_some() {
+                let value = if kind.is_store() {
                     store_value
                 } else {
                     self.functional.architectural(addr)
-                },
-            );
+                };
+                self.fire_l1_access(pc, addr, line, kind, AccessOutcome::Hit, false, value);
+            }
             return;
         }
         // Miss: sidecar first (swap semantics), else fetch through the L2.
@@ -1167,19 +1218,15 @@ impl MemorySystem {
                 (data, AccessOutcome::Miss, false)
             }
         };
-        self.fire_l1_access(
-            pc,
-            addr,
-            line,
-            kind,
-            outcome,
-            false,
-            if kind.is_store() {
+        if self.l1_mech.is_some() {
+            let value = if kind.is_store() {
                 store_value
             } else {
                 self.functional.architectural(addr)
-            },
-        );
+            };
+            self.fire_l1_access(pc, addr, line, kind, outcome, false, value);
+        }
+        self.warm_last_dline = None;
         let victim = self.l1d.array.fill(line, data, dirty, false);
         if kind.is_store() {
             self.functional.store_architectural(addr, store_value);
@@ -1243,9 +1290,10 @@ impl MemorySystem {
     /// next detailed phase.
     pub fn resume_warmup(&mut self, now: Cycle) {
         self.warm_clock = self.warm_clock.max(now.raw());
-        // Detailed simulation moved the L1I; the warm fetch filter must
-        // re-observe.
+        // Detailed simulation moved the caches; the warm fast-path filters
+        // must re-observe.
         self.warm_last_iline = None;
+        self.warm_last_dline = None;
     }
 
     /// Ends the warmup phase: statistics gathered so far are excluded from
@@ -1304,6 +1352,7 @@ impl MemorySystem {
         self.warm_clock = checkpoint.warm_clock;
         self.now = Cycle::new(self.warm_clock);
         self.warm_last_iline = None;
+        self.warm_last_dline = None;
     }
 
     /// Replays a recorded warm event stream into the attached mechanisms,
@@ -1452,30 +1501,30 @@ impl MemorySystem {
                 break; // controller queue full; retry next cycle
             }
             if !head.is_write {
-                self.mem_inflight.insert(
-                    token.0,
-                    MemInflight {
-                        l2_line: head.l2_line,
-                    },
-                );
+                self.mem_inflight.push((token.0, head.l2_line));
             }
             self.mem_pending.pop_front();
         }
-        // Collect finished transactions.
-        for done in self.memory.tick(self.now) {
-            if done.is_write {
+        // Collect finished transactions (into the reusable scratch — the
+        // common idle tick must not allocate).
+        let mut done = std::mem::take(&mut self.mem_done);
+        self.memory.tick_into(self.now, &mut done);
+        for d in done.drain(..) {
+            if d.is_write {
                 continue;
             }
-            let Some(inflight) = self.mem_inflight.remove(&done.token.0) else {
+            let Some(pos) = self.mem_inflight.iter().position(|&(t, _)| t == d.token.0) else {
                 continue;
             };
+            let (_, l2_line) = self.mem_inflight.swap_remove(pos);
             // Data returns over the memory bus.
             self.mem_bus.reserve(self.now, self.config.l2.line_bytes);
             self.l2_refills.push(L2Refill {
-                l2_line: inflight.l2_line,
+                l2_line,
                 arrive: self.mem_bus.busy_until(),
             });
         }
+        self.mem_done = done;
     }
 
     fn pump_l2_refills(&mut self) {
@@ -1499,9 +1548,22 @@ impl MemorySystem {
     }
 
     fn finish_l2_refill(&mut self, l2_line: Addr) {
-        let entry = self.l2.mshr.complete(l2_line);
-        let waiters = self.l2_waiters.remove(&l2_line.raw()).unwrap_or_default();
-        let was_prefetch = entry.as_ref().map(|e| e.is_prefetch).unwrap_or(false);
+        let mut targets = std::mem::take(&mut self.mshr_targets);
+        let entry = self.l2.mshr.complete_into(l2_line, &mut targets);
+        self.mshr_targets = targets;
+        // Drain this line's waiters in arrival order; `retain` keeps the
+        // relative order of everyone else.
+        let mut waiters = std::mem::take(&mut self.waiter_scratch);
+        waiters.clear();
+        self.l2_waiters.retain(|&(line, origin)| {
+            if line == l2_line.raw() {
+                waiters.push(origin);
+                false
+            } else {
+                true
+            }
+        });
+        let was_prefetch = entry.map(|e| e.is_prefetch).unwrap_or(false);
         let data = self.functional.dram().read_line(l2_line, 64);
         self.trace_event(l2_line, || {
             format!(
@@ -1535,9 +1597,10 @@ impl MemorySystem {
             slot.mech.on_refill(&ev, &mut slot.queue);
         }
         // Forward to the L1 requesters.
-        for origin in waiters {
-            self.schedule_l1_fill_from_l2_delayed(l2_line, origin, 0);
+        for &waiter in &waiters {
+            self.schedule_l1_fill_from_l2_delayed(l2_line, waiter, 0);
         }
+        self.waiter_scratch = waiters;
     }
 
     fn pump_l2_queue(&mut self) {
@@ -1643,10 +1706,7 @@ impl MemorySystem {
                         slot.queue.cancel(l2_line);
                     }
                 }
-                self.l2_waiters
-                    .entry(l2_line.raw())
-                    .or_default()
-                    .push(origin);
+                self.l2_waiters.push((l2_line.raw(), origin));
                 // Request command to memory.
                 self.mem_bus.reserve(self.now, 8);
                 self.mem_pending.push_back(MemReq {
@@ -1667,10 +1727,7 @@ impl MemorySystem {
                     }
                     self.fire_l2_access(pc, l2_line, kind, AccessOutcome::Miss, false);
                 }
-                self.l2_waiters
-                    .entry(l2_line.raw())
-                    .or_default()
-                    .push(origin);
+                self.l2_waiters.push((l2_line.raw(), origin));
             }
             MshrOutcome::FullStall | MshrOutcome::BusyStall | MshrOutcome::TargetStall => {
                 // Head-of-line blocking: requeue at the front and retry next
@@ -1768,25 +1825,31 @@ impl MemorySystem {
     }
 
     fn finish_l1i_fill(&mut self, fill: L1Fill) {
-        let Some(entry) = self.l1i.mshr.complete(fill.l1_line) else {
-            return;
-        };
-        if !self.l1i.array.contains(fill.l1_line) {
-            let words = (self.config.l1i.line_bytes / 8) as usize;
-            self.l1i
-                .array
-                .fill(fill.l1_line, LineData::zeroed(words), false, false);
-            self.l1i.stats.demand_fills += 1;
-        }
-        for t in entry.targets {
-            if let Some(req) = t.req {
-                self.completions.push(Completion {
-                    req,
-                    at: self.now,
-                    value: 0,
-                });
+        let mut targets = std::mem::take(&mut self.mshr_targets);
+        if self
+            .l1i
+            .mshr
+            .complete_into(fill.l1_line, &mut targets)
+            .is_some()
+        {
+            if !self.l1i.array.contains(fill.l1_line) {
+                let words = (self.config.l1i.line_bytes / 8) as usize;
+                self.l1i
+                    .array
+                    .fill(fill.l1_line, LineData::zeroed(words), false, false);
+                self.l1i.stats.demand_fills += 1;
+            }
+            for t in &targets {
+                if let Some(req) = t.req {
+                    self.completions.push(Completion {
+                        req,
+                        at: self.now,
+                        value: 0,
+                    });
+                }
             }
         }
+        self.mshr_targets = targets;
     }
 
     fn finish_l1d_fill(&mut self, fill: L1Fill) {
@@ -1794,9 +1857,19 @@ impl MemorySystem {
             self.finish_buffer_fill(fill);
             return;
         }
-        let Some(entry) = self.l1d.mshr.complete(fill.l1_line) else {
-            return;
-        };
+        let mut targets = std::mem::take(&mut self.mshr_targets);
+        if let Some(entry) = self.l1d.mshr.complete_into(fill.l1_line, &mut targets) {
+            self.finish_l1d_fill_inner(fill, entry, &targets);
+        }
+        self.mshr_targets = targets;
+    }
+
+    fn finish_l1d_fill_inner(
+        &mut self,
+        fill: L1Fill,
+        entry: crate::mshr::MshrCompletion,
+        targets: &[MshrTarget],
+    ) {
         let mut data = self
             .l2
             .array
@@ -1842,7 +1915,7 @@ impl MemorySystem {
         // Apply merged targets in arrival order; stores update the fill
         // data, loads observe the current value.
         let mut dirty = false;
-        for t in &entry.targets {
+        for t in targets {
             let off = (t.addr.offset_in_line(self.config.l1d.line_bytes) / 8) as usize;
             if t.is_store {
                 data.set_word(off, t.value);
@@ -1872,7 +1945,7 @@ impl MemorySystem {
             format!(
                 "L1 fill install word0={:#x} targets={}",
                 data.word(0),
-                entry.targets.len()
+                targets.len()
             )
         });
         if !self.l1d.array.contains(fill.l1_line) {
@@ -1889,7 +1962,7 @@ impl MemorySystem {
         } else if dirty {
             // Extremely rare: line got installed by a sidecar swap while the
             // miss was in flight; merge the stores.
-            for t in &entry.targets {
+            for t in targets {
                 if t.is_store {
                     self.l1d.array.write_word(t.addr, t.value);
                 }
@@ -1916,7 +1989,13 @@ impl MemorySystem {
     /// the prefetch travelled, in which case the copy would go stale and is
     /// discarded.
     fn finish_buffer_fill(&mut self, fill: L1Fill) {
-        self.buffer_inflight.remove(&fill.l1_line.raw());
+        if let Some(pos) = self
+            .buffer_inflight
+            .iter()
+            .position(|&l| l == fill.l1_line.raw())
+        {
+            self.buffer_inflight.swap_remove(pos);
+        }
         if self.l1d.array.contains(fill.l1_line) || self.l1d.mshr.contains(fill.l1_line) {
             self.trace_event(fill.l1_line, || {
                 "buffer fill discarded (resident/in-flight demand)".to_owned()
@@ -2009,7 +2088,7 @@ impl MemorySystem {
                 // Dedicated prefetch-buffer path: no L1 MSHR entry; the
                 // request competes for the L2 path only.
                 slot.queue.pop();
-                self.buffer_inflight.insert(req.line.raw());
+                self.buffer_inflight.push(req.line.raw());
                 self.send_miss_to_l2(
                     req.line,
                     Addr::NULL,
@@ -2066,10 +2145,7 @@ impl MemorySystem {
                             .accepted()
                         {
                             slot.queue.pop();
-                            self.l2_waiters
-                                .entry(req.line.raw())
-                                .or_default()
-                                .push(Origin::L2Prefetch);
+                            self.l2_waiters.push((req.line.raw(), Origin::L2Prefetch));
                             self.mem_bus.reserve(self.now, 8);
                             self.mem_pending.push_back(MemReq {
                                 l2_line: req.line,

@@ -39,9 +39,9 @@ mod sdram;
 mod warmup;
 
 pub use bus::{Bus, BusStats};
-pub use cache::{CacheArray, HitInfo, LineState, Victim};
+pub use cache::{CacheArray, HitInfo, Victim};
 pub use functional::{FunctionalMemory, IntegrityError, SparseMemory};
 pub use hierarchy::{Completion, IssueRejection, IssueResult, MemorySystem, ReqId};
-pub use mshr::{MshrEntry, MshrFile, MshrOutcome, MshrStats, MshrTarget};
+pub use mshr::{MshrCompletion, MshrEntry, MshrFile, MshrOutcome, MshrStats, MshrTarget};
 pub use sdram::{ConstantMemory, MainMemory, MemDone, MemToken, Sdram};
 pub use warmup::{capture_warm_state, WarmCheckpoint, WarmEvent, WarmLog, WarmState};

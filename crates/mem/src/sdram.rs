@@ -8,6 +8,17 @@
 //! of the scheduling schemes of Green (EDN 1998) — FCFS and open-row-first,
 //! the latter being the one the paper "retained [because it] significantly
 //! reduces conflicts in row buffers". Refresh is avoided, as in Table 1.
+//!
+//! # Data layout
+//!
+//! Bank state is stored as three flat per-bank columns (`bank_open_row`,
+//! `bank_ready`, `bank_active`) instead of a `Vec` of structs, and the
+//! controller maintains `next_ready` — the minimum `data_ready` over the
+//! in-service set — so the per-cycle [`Sdram::tick_into`] can prove in one
+//! compare that an idle-queue cycle has nothing to do and return without
+//! scanning anything. Debug builds cross-check every skipped cycle against
+//! a full scan. [`Sdram::tick_into`]/[`MainMemory::tick_into`] append into
+//! a caller-owned buffer so the hierarchy's cycle loop never allocates.
 
 use microlib_model::{
     Addr, BankInterleave, Cycle, MemoryModel, MemoryStats, SdramConfig, SdramSchedule,
@@ -45,12 +56,9 @@ struct InService {
     data_ready: Cycle,
 }
 
-#[derive(Clone, Copy, Debug)]
-struct Bank {
-    open_row: Option<u64>,
-    ready_at: Cycle,
-    active_since: Cycle,
-}
+/// Sentinel for "no row open" in the flat `bank_open_row` column (row
+/// indices are bounded by the configured row count, far below this).
+const NO_ROW: u64 = u64::MAX;
 
 /// The detailed SDRAM controller + banks.
 ///
@@ -73,8 +81,25 @@ pub struct Sdram {
     config: SdramConfig,
     queue: VecDeque<Pending>,
     in_service: Vec<InService>,
-    banks: Vec<Bank>,
+    /// Flat per-bank columns: open row ([`NO_ROW`] when closed), earliest
+    /// next-command cycle, and the cycle of the last activate.
+    bank_open_row: Vec<u64>,
+    bank_ready: Vec<Cycle>,
+    bank_active: Vec<Cycle>,
     last_activate: Cycle,
+    /// Minimum `data_ready` over `in_service` ([`Cycle::NEVER`] when empty):
+    /// lets an idle-queue tick return after one compare.
+    next_ready: Cycle,
+    /// Earliest cycle at which `pick_next` could succeed: once a tick finds
+    /// every queued transaction's bank busy, no command can start before the
+    /// soonest of those banks frees up (the schedule inputs — open rows, bank
+    /// timings — only change when a command starts or a push arrives, and
+    /// pushes reset this). Lets a congested-queue tick skip both scheduler
+    /// scans.
+    next_sched: Cycle,
+    /// Address-mapping bit widths, derived once from the geometry.
+    col_bits: u32,
+    bank_bits: u32,
     stats: MemoryStats,
 }
 
@@ -87,18 +112,18 @@ impl Sdram {
     /// [`SystemConfig`](microlib_model::SystemConfig) to avoid this.
     pub fn new(config: SdramConfig) -> Self {
         config.validate().expect("invalid SDRAM configuration");
+        let banks = config.banks as usize;
         Sdram {
             queue: VecDeque::with_capacity(config.queue_entries as usize),
             in_service: Vec::new(),
-            banks: vec![
-                Bank {
-                    open_row: None,
-                    ready_at: Cycle::ZERO,
-                    active_since: Cycle::ZERO,
-                };
-                config.banks as usize
-            ],
+            bank_open_row: vec![NO_ROW; banks],
+            bank_ready: vec![Cycle::ZERO; banks],
+            bank_active: vec![Cycle::ZERO; banks],
             last_activate: Cycle::ZERO,
+            next_ready: Cycle::NEVER,
+            next_sched: Cycle::ZERO,
+            col_bits: 64 - (config.columns as u64).leading_zeros() - 1,
+            bank_bits: 64 - (config.banks as u64).leading_zeros() - 1,
             config,
             stats: MemoryStats::default(),
         }
@@ -110,17 +135,14 @@ impl Sdram {
     }
 
     /// Maps a line address onto (bank, row) per the interleaving scheme.
+    #[inline]
     pub fn map(&self, line: Addr) -> (usize, u64) {
-        let col_bits = 64 - (self.config.columns as u64).leading_zeros() - 1;
-        let bank_bits = 64 - (self.config.banks as u64).leading_zeros() - 1;
         let lines = line.raw() >> 6; // 64-byte line-sized columns
-        let col = lines & ((1 << col_bits) - 1);
-        let mut bank = (lines >> col_bits) & ((1 << bank_bits) - 1);
-        let row = (lines >> (col_bits + bank_bits)) % self.config.rows as u64;
+        let mut bank = (lines >> self.col_bits) & ((1 << self.bank_bits) - 1);
+        let row = (lines >> (self.col_bits + self.bank_bits)) % self.config.rows as u64;
         if self.config.interleave == BankInterleave::Permutation {
-            bank ^= row & ((1 << bank_bits) - 1);
+            bank ^= row & ((1 << self.bank_bits) - 1);
         }
-        let _ = col;
         (bank as usize, row)
     }
 
@@ -140,6 +162,8 @@ impl Sdram {
             is_write,
             arrival: now,
         });
+        // The new transaction's bank may be ready immediately.
+        self.next_sched = Cycle::ZERO;
         true
     }
 
@@ -156,14 +180,14 @@ impl Sdram {
     fn pick_next(&self, now: Cycle) -> Option<usize> {
         let startable = |p: &Pending| {
             let (bank, _) = self.map(p.line);
-            self.banks[bank].ready_at <= now
+            self.bank_ready[bank] <= now
         };
         match self.config.schedule {
             SdramSchedule::Fcfs => self.queue.iter().position(startable),
             SdramSchedule::OpenRowFirst => {
                 let row_hit = |p: &Pending| {
                     let (bank, row) = self.map(p.line);
-                    self.banks[bank].open_row == Some(row) && self.banks[bank].ready_at <= now
+                    self.bank_open_row[bank] == row && self.bank_ready[bank] <= now
                 };
                 self.queue
                     .iter()
@@ -174,74 +198,116 @@ impl Sdram {
     }
 
     /// Advances one CPU cycle; returns transactions whose data became ready.
+    /// Allocating convenience wrapper around [`Sdram::tick_into`].
     pub fn tick(&mut self, now: Cycle) -> Vec<MemDone> {
         let mut done = Vec::new();
-        let mut i = 0;
-        while i < self.in_service.len() {
-            if self.in_service[i].data_ready <= now {
-                let s = self.in_service.swap_remove(i);
-                self.stats.requests += 1;
-                self.stats.total_latency += s.data_ready.since(s.arrival);
-                done.push(MemDone {
-                    token: s.token,
-                    is_write: s.is_write,
-                    finished_at: s.data_ready,
-                });
-            } else {
-                i += 1;
-            }
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// Advances one CPU cycle, appending transactions whose data became
+    /// ready onto `done`. With an empty queue and no transaction due, this
+    /// is a single compare — the hierarchy calls it every cycle, and most
+    /// cycles the controller is idle.
+    pub fn tick_into(&mut self, now: Cycle, done: &mut Vec<MemDone>) {
+        if self.queue.is_empty() && self.next_ready > now {
+            // Nothing due: no command can start, the queue-wait counter
+            // only runs while requests are queued, and `next_ready` bounds
+            // every in-service completion.
+            debug_assert!(
+                self.in_service.iter().all(|s| s.data_ready > now),
+                "next_ready under-approximated the in-service set"
+            );
+            return;
         }
 
         if !self.queue.is_empty() {
             self.stats.queue_wait_cycles += 1;
         }
 
+        // Drain completions only when one is provably due: `next_ready`
+        // bounds the in-service set, so most congested-queue ticks skip
+        // this scan too.
+        if self.next_ready <= now {
+            let mut next_ready = Cycle::NEVER;
+            let mut i = 0;
+            while i < self.in_service.len() {
+                let ready = self.in_service[i].data_ready;
+                if ready <= now {
+                    let s = self.in_service.swap_remove(i);
+                    self.stats.requests += 1;
+                    self.stats.total_latency += s.data_ready.since(s.arrival);
+                    done.push(MemDone {
+                        token: s.token,
+                        is_write: s.is_write,
+                        finished_at: s.data_ready,
+                    });
+                } else {
+                    next_ready = next_ready.min(ready);
+                    i += 1;
+                }
+            }
+            self.next_ready = next_ready;
+        }
+
         // Start at most one command per cycle (shared command/address bus).
+        // `next_sched` proves every queued transaction's bank is still busy
+        // on most congested ticks, skipping both scheduler scans;
+        // completions above cannot unblock scheduling (they never touch
+        // `bank_ready` or the open rows).
+        if self.next_sched > now {
+            debug_assert!(
+                self.pick_next(now).is_none(),
+                "next_sched over-approximated the scheduler"
+            );
+            return;
+        }
         if let Some(pos) = self.pick_next(now) {
             let p = self.queue.remove(pos).expect("position valid");
-            let (bank_idx, row) = self.map(p.line);
+            let (bank, row) = self.map(p.line);
             let cfg = self.config;
-            let bank = &mut self.banks[bank_idx];
-            let start = if bank.ready_at > now {
-                bank.ready_at
+            let start = self.bank_ready[bank].max(now);
+            let data_ready = if self.bank_open_row[bank] == row {
+                self.stats.row_hits += 1;
+                start + cfg.cas
+            } else if self.bank_open_row[bank] != NO_ROW {
+                // Row conflict: precharge (respecting tRAS), activate
+                // (respecting tRC and tRRD), then CAS.
+                self.stats.precharges += 1;
+                let pre_start = start.max(self.bank_active[bank] + cfg.t_ras);
+                let mut act = pre_start + cfg.t_rp;
+                act = act.max(self.bank_active[bank] + cfg.t_rc);
+                act = act.max(self.last_activate + cfg.t_rrd);
+                self.bank_active[bank] = act;
+                self.last_activate = act;
+                self.bank_open_row[bank] = row;
+                act + cfg.t_rcd + cfg.cas
             } else {
-                now
+                let act = start.max(self.last_activate + cfg.t_rrd);
+                self.bank_active[bank] = act;
+                self.last_activate = act;
+                self.bank_open_row[bank] = row;
+                act + cfg.t_rcd + cfg.cas
             };
-            let data_ready = match bank.open_row {
-                Some(open) if open == row => {
-                    self.stats.row_hits += 1;
-                    start + cfg.cas
-                }
-                Some(_) => {
-                    // Row conflict: precharge (respecting tRAS), activate
-                    // (respecting tRC and tRRD), then CAS.
-                    self.stats.precharges += 1;
-                    let pre_start = start.max(bank.active_since + cfg.t_ras);
-                    let mut act = pre_start + cfg.t_rp;
-                    act = act.max(bank.active_since + cfg.t_rc);
-                    act = act.max(self.last_activate + cfg.t_rrd);
-                    bank.active_since = act;
-                    self.last_activate = act;
-                    bank.open_row = Some(row);
-                    act + cfg.t_rcd + cfg.cas
-                }
-                None => {
-                    let act = start.max(self.last_activate + cfg.t_rrd);
-                    bank.active_since = act;
-                    self.last_activate = act;
-                    bank.open_row = Some(row);
-                    act + cfg.t_rcd + cfg.cas
-                }
-            };
-            bank.ready_at = data_ready;
+            self.bank_ready[bank] = data_ready;
+            self.next_ready = self.next_ready.min(data_ready);
             self.in_service.push(InService {
                 token: p.token,
                 is_write: p.is_write,
                 arrival: p.arrival,
                 data_ready,
             });
+        } else {
+            // Every queued transaction's bank is busy: no command can start
+            // before the soonest of those banks frees up. (Pushes reset the
+            // bound; nothing else changes the scheduler's inputs.)
+            let mut soonest = Cycle::NEVER;
+            for p in &self.queue {
+                let (bank, _) = self.map(p.line);
+                soonest = soonest.min(self.bank_ready[bank]);
+            }
+            self.next_sched = soonest;
         }
-        done
     }
 
     /// Accumulated controller statistics.
@@ -253,12 +319,18 @@ impl Sdram {
     pub fn reset(&mut self) {
         self.queue.clear();
         self.in_service.clear();
-        for b in &mut self.banks {
-            b.open_row = None;
-            b.ready_at = Cycle::ZERO;
-            b.active_since = Cycle::ZERO;
+        for row in &mut self.bank_open_row {
+            *row = NO_ROW;
+        }
+        for ready in &mut self.bank_ready {
+            *ready = Cycle::ZERO;
+        }
+        for active in &mut self.bank_active {
+            *active = Cycle::ZERO;
         }
         self.last_activate = Cycle::ZERO;
+        self.next_ready = Cycle::NEVER;
+        self.next_sched = Cycle::ZERO;
         self.stats = MemoryStats::default();
     }
 }
@@ -268,6 +340,8 @@ impl Sdram {
 pub struct ConstantMemory {
     latency: u64,
     in_flight: Vec<InService>,
+    /// Minimum `data_ready` over `in_flight` ([`Cycle::NEVER`] when empty).
+    next_ready: Cycle,
     stats: MemoryStats,
 }
 
@@ -277,6 +351,7 @@ impl ConstantMemory {
         ConstantMemory {
             latency,
             in_flight: Vec::new(),
+            next_ready: Cycle::NEVER,
             stats: MemoryStats::default(),
         }
     }
@@ -288,20 +363,35 @@ impl ConstantMemory {
 
     /// Submits a transaction (never refuses).
     pub fn push(&mut self, token: MemToken, is_write: bool, now: Cycle) {
+        let data_ready = now + self.latency;
+        self.next_ready = self.next_ready.min(data_ready);
         self.in_flight.push(InService {
             token,
             is_write,
             arrival: now,
-            data_ready: now + self.latency,
+            data_ready,
         });
     }
 
-    /// Advances one cycle, returning finished transactions.
+    /// Advances one cycle, returning finished transactions. Allocating
+    /// convenience wrapper around [`ConstantMemory::tick_into`].
     pub fn tick(&mut self, now: Cycle) -> Vec<MemDone> {
         let mut done = Vec::new();
+        self.tick_into(now, &mut done);
+        done
+    }
+
+    /// Advances one cycle, appending finished transactions onto `done`.
+    pub fn tick_into(&mut self, now: Cycle, done: &mut Vec<MemDone>) {
+        if self.next_ready > now {
+            debug_assert!(self.in_flight.iter().all(|s| s.data_ready > now));
+            return;
+        }
+        let mut next_ready = Cycle::NEVER;
         let mut i = 0;
         while i < self.in_flight.len() {
-            if self.in_flight[i].data_ready <= now {
+            let ready = self.in_flight[i].data_ready;
+            if ready <= now {
                 let s = self.in_flight.swap_remove(i);
                 self.stats.requests += 1;
                 self.stats.total_latency += s.data_ready.since(s.arrival);
@@ -311,10 +401,11 @@ impl ConstantMemory {
                     finished_at: s.data_ready,
                 });
             } else {
+                next_ready = next_ready.min(ready);
                 i += 1;
             }
         }
-        done
+        self.next_ready = next_ready;
     }
 
     /// Accumulated statistics.
@@ -325,6 +416,7 @@ impl ConstantMemory {
     /// Clears in-flight state and counters.
     pub fn reset(&mut self) {
         self.in_flight.clear();
+        self.next_ready = Cycle::NEVER;
         self.stats = MemoryStats::default();
     }
 }
@@ -361,11 +453,20 @@ impl MainMemory {
         }
     }
 
-    /// Advances one cycle, returning finished transactions.
+    /// Advances one cycle, returning finished transactions. Allocating
+    /// convenience wrapper around [`MainMemory::tick_into`].
     pub fn tick(&mut self, now: Cycle) -> Vec<MemDone> {
         match self {
             MainMemory::Constant(m) => m.tick(now),
             MainMemory::Sdram(m) => m.tick(now),
+        }
+    }
+
+    /// Advances one cycle, appending finished transactions onto `done`.
+    pub fn tick_into(&mut self, now: Cycle, done: &mut Vec<MemDone>) {
+        match self {
+            MainMemory::Constant(m) => m.tick_into(now, done),
+            MainMemory::Sdram(m) => m.tick_into(now, done),
         }
     }
 
@@ -566,5 +667,33 @@ mod tests {
         let done = run_until_done(&mut mem, 300);
         assert!(done[0].is_write);
         assert_eq!(mem.stats().requests, 1);
+    }
+
+    /// The idle fast path must be invisible: ticking far past the last
+    /// completion and then submitting again behaves identically to the
+    /// always-scanning reference, including the queue-wait counter.
+    #[test]
+    fn idle_fast_path_is_invisible() {
+        let mut mem = Sdram::new(SdramConfig::baseline());
+        mem.try_push(MemToken(1), Addr::new(0x40), false, Cycle::new(0));
+        let mut done = Vec::new();
+        for c in 0..10_000u64 {
+            mem.tick_into(Cycle::new(c), &mut done);
+        }
+        assert_eq!(done.len(), 1);
+        let wait_after_first = mem.stats().queue_wait_cycles;
+        // Long-idle controller accrues no queue-wait cycles.
+        mem.try_push(MemToken(2), Addr::new(0x80), false, Cycle::new(10_000));
+        for c in 10_000..10_200u64 {
+            mem.tick_into(Cycle::new(c), &mut done);
+        }
+        assert_eq!(done.len(), 2);
+        assert_eq!(done[1].token, MemToken(2));
+        assert_eq!(
+            mem.stats().queue_wait_cycles,
+            wait_after_first + 1,
+            "one wait cycle for the second request's submission cycle"
+        );
+        assert_eq!(mem.in_service_len(), 0);
     }
 }

@@ -11,8 +11,9 @@
 
 use microlib::{run_one, RunResult, SimOptions};
 use microlib_mech::MechanismKind;
-use microlib_model::SystemConfig;
-use microlib_trace::TraceWindow;
+use microlib_mem::{capture_warm_state, FunctionalMemory, MemorySystem, WarmLog, WarmState};
+use microlib_model::{Encoder, SystemConfig};
+use microlib_trace::{benchmarks, TraceWindow, Workload};
 
 const SEEDS: [u64; 3] = [1, 2, 0xC0FFEE];
 
@@ -121,6 +122,150 @@ const GOLDEN: &[(&str, u64, &str)] = &[
     ("Ghb", 2, "cyc=1388 com=800 fet=800 stalls=[0,563,8,77,529,0,3] l1d=[222,120,97,0,70,53,26,1,97,0,0,44,0] l1i=[121,12] l2=[87,22,30,44] mem=[37,3105] mech=[395,440,8,0,0,0,0]"),
     ("Ghb", 12648430, "cyc=1684 com=800 fet=800 stalls=[0,1180,7,29,214,0,0] l1d=[222,113,55,0,59,11,15,3,53,0,0,28,0] l1i=[123,21] l2=[67,8,35,28] mem=[44,4212] mech=[271,318,12,4,0,0,0]"),
 ];
+
+/// Memory-side digest: the counters the SoA cache/MSHR/SDRAM arenas are
+/// responsible for, down to row-buffer behaviour. A layout change that
+/// perturbs MSHR slot reuse, bank scheduling order or writeback timing
+/// shows up here even when the core-side digest above stays green.
+fn mem_digest(r: &RunResult) -> String {
+    let d = &r.l1d;
+    let i = &r.l1i;
+    let l2 = &r.l2;
+    let m = &r.memory;
+    format!(
+        "l1d=[{},{},{},{},{},{}] l1i=[{},{}] l2=[{},{},{},{},{},{}] \
+         sdram=[{},{},{},{},{},{}]",
+        d.loads,
+        d.stores,
+        d.misses,
+        d.mshr_merges,
+        d.mshr_full_stalls,
+        d.writebacks,
+        i.loads,
+        i.misses,
+        l2.loads,
+        l2.stores,
+        l2.misses,
+        l2.writebacks,
+        l2.demand_fills,
+        l2.prefetch_fills,
+        m.requests,
+        m.total_latency,
+        m.row_hits,
+        m.precharges,
+        m.bus_busy_cycles,
+        m.queue_wait_cycles,
+    )
+}
+
+/// Recorded memory-hierarchy digests: (mechanism, seed, digest) over a
+/// window long enough to exercise SDRAM bank scheduling and writebacks.
+const MEM_GOLDEN: &[(&str, u64, &str)] = &[
+    ("Base", 1, "l1d=[531,294,131,124,177,87] l1i=[309,8] l2=[118,17,42,87,42,0] sdram=[43,4449,13,26,425,910]"),
+    ("Base", 2, "l1d=[554,289,156,135,252,79] l1i=[304,7] l2=[131,31,43,79,42,0] sdram=[42,4422,13,25,425,1028]"),
+    ("Base", 12648430, "l1d=[561,290,131,151,144,80] l1i=[302,13] l2=[134,10,59,80,59,0] sdram=[60,5770,18,38,595,968]"),
+    ("Ghb", 1, "l1d=[531,294,132,125,132,88] l1i=[309,8] l2=[115,21,33,88,34,24] sdram=[59,6136,32,24,590,1318]"),
+    ("Ghb", 2, "l1d=[555,289,156,129,217,81] l1i=[304,7] l2=[130,32,30,81,32,30] sdram=[62,8215,37,21,620,1520]"),
+    ("Ghb", 12648430, "l1d=[564,290,131,148,67,80] l1i=[302,13] l2=[134,10,50,80,51,23] sdram=[75,8634,34,37,745,1645]"),
+];
+
+#[test]
+fn memory_hierarchy_stats_match_recorded_golden() {
+    let record = std::env::var("MICROLIB_RECORD_FINGERPRINTS").is_ok();
+    let mut missing = Vec::new();
+    for kind in [MechanismKind::Base, MechanismKind::Ghb] {
+        for seed in SEEDS {
+            let opts = SimOptions {
+                seed,
+                window: TraceWindow::new(1_000, 2_000),
+                ..SimOptions::default()
+            };
+            let r = run_one(&SystemConfig::baseline(), kind, "swim", &opts).expect("run succeeds");
+            let got = mem_digest(&r);
+            let name = format!("{kind:?}");
+            if record {
+                println!("    (\"{name}\", {seed}, \"{got}\"),");
+                continue;
+            }
+            match MEM_GOLDEN
+                .iter()
+                .find(|(k, s, _)| *k == name && *s == seed)
+                .map(|(_, _, want)| *want)
+            {
+                Some(want) => assert_eq!(got, want, "{name} seed {seed} drifted"),
+                None => missing.push(format!("{name}/{seed}")),
+            }
+        }
+    }
+    assert!(
+        record || missing.is_empty(),
+        "no recorded digest for: {missing:?}"
+    );
+}
+
+/// Splitting a warm phase at an arbitrary point — capture a [`WarmState`]
+/// mid-warm, restore it into a fresh system, warm the rest — must land on
+/// a byte-identical checkpoint to warming straight through. This pins the
+/// warm fast path (same-line short-circuit) across the restore boundary:
+/// the restored system starts with a cold fast-path slot, the uninterrupted
+/// one doesn't, and any divergence in array state, functional images,
+/// stats or the warm clock shows up in the encoded bytes.
+#[test]
+fn warm_capture_restore_is_bit_identical() {
+    const WARM: usize = 3_000;
+    const SPLIT: u64 = 1_500;
+    for (bench, seed) in [("swim", 1u64), ("mcf", 2), ("gzip", 0xC0FFEE)] {
+        let cfg = SystemConfig::baseline();
+        let workload = Workload::new(benchmarks::by_name(bench).unwrap(), seed);
+
+        // Uninterrupted: one system warms the whole prefix.
+        let mut direct = MemorySystem::new(cfg.clone(), Vec::new()).unwrap();
+        workload.initialize(direct.functional_mut());
+        for inst in workload.stream().take(WARM) {
+            direct.warm_inst(inst.pc, inst.warm_mem_ref());
+        }
+        let direct_ckpt = direct.snapshot_warm();
+
+        // Split: capture at SPLIT, restore into a fresh system, finish.
+        let state = capture_warm_state(
+            cfg.clone(),
+            |f| workload.initialize(f),
+            workload
+                .stream()
+                .take(SPLIT as usize)
+                .map(|i| (i.pc, i.warm_mem_ref())),
+        )
+        .unwrap();
+        let mut resumed = MemorySystem::new(cfg, Vec::new()).unwrap();
+        resumed.restore_warm(&state.checkpoint);
+        resumed.replay_warm_events(&state.log);
+        let mut stream = workload.stream();
+        stream.advance_to(SPLIT);
+        for inst in stream.take(WARM - SPLIT as usize) {
+            resumed.warm_inst(inst.pc, inst.warm_mem_ref());
+        }
+        let resumed_ckpt = resumed.snapshot_warm();
+
+        // Byte-level equality via the checkpoint codec (delta against the
+        // same freshly initialized image).
+        let mut base = FunctionalMemory::new();
+        workload.initialize(&mut base);
+        let encode = |ckpt| {
+            let mut e = Encoder::new();
+            WarmState {
+                checkpoint: ckpt,
+                log: WarmLog::default(),
+            }
+            .encode(&base, &mut e);
+            e.into_bytes()
+        };
+        assert_eq!(
+            encode(direct_ckpt),
+            encode(resumed_ckpt),
+            "{bench} seed {seed}: split warm diverged from uninterrupted warm"
+        );
+    }
+}
 
 #[test]
 fn study_set_stats_match_recorded_golden() {
