@@ -18,6 +18,8 @@
 //! run_all [--sampled] [--only <name>[,<name>...]]
 //!         [--cache-dir <dir>] [--no-cache] [--verify-golden <dir>]
 //!         [--shard i/N] [--workers N] [--out-dir <dir>]
+//!         [--mine] [--mine-budget <n>] [--mine-bound <f>]
+//!         [--mine-export <dir>] [--mine-cell <benchmark>:<delta>]
 //! ```
 //!
 //! `--only` filters the battery by experiment name (exact or unambiguous
@@ -68,6 +70,27 @@
 //! coordinator uses internally, also usable by hand across machines that
 //! share a cache directory.
 //!
+//! # Inconsistency mining
+//!
+//! `--mine` runs the differential inconsistency miner (`microlib-miner`)
+//! instead of the experiment battery: a deterministic budgeted walk of
+//! config space probing every cell through both model tiers, minimizing
+//! each inconsistency to its load-bearing knobs, and writing the
+//! byte-reproducible report to `results-mine/mine.txt` (see
+//! `ARCHITECTURE.md` § Inconsistency mining). `--mine-budget` and
+//! `--mine-bound` override the default 64-cell / 0.25-bound run,
+//! `--mine-export <dir>` additionally writes one `cliff-<id>.txt` per
+//! confirmed cliff (the `cliffs-golden/` corpus is generated this way),
+//! and `--mine-cell benchmark:delta` re-probes a single cell from a
+//! cliff record's repro line. Mining honours `MICROLIB_SKIP` /
+//! `MICROLIB_SIM` / `MICROLIB_SEED` (defaulting to a small
+//! 2000-skip/4000-instruction window, not the battery's full window),
+//! memoizes per-cell outcomes in the `mine` class of the disk cache
+//! (a warm re-run recomputes 0 mine cells), and composes with
+//! `--workers`/`--shard`: workers probe their own shard's cells first,
+//! the detailed runs underneath coordinate through the lease layer, and
+//! the coordinator byte-compares every worker's full report.
+//!
 //! # The golden gate
 //!
 //! `--verify-golden <dir>` re-runs the selected battery and byte-compares
@@ -82,8 +105,10 @@
 //! any failed campaign cell inside one — is summarized per cell on stderr
 //! and the process exits `1`. Usage errors exit `2`.
 
-use microlib::LeaseManager;
-use microlib_bench::{experiments, Context};
+use microlib::{LeaseManager, SimOptions};
+use microlib_bench::{experiments, std_threads, Context};
+use microlib_miner::{mine, perturb_from_env, reprobe_cell, CellOutcome, MineConfig};
+use microlib_trace::TraceWindow;
 use std::fs;
 use std::panic::{self, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -134,6 +159,16 @@ struct Cli {
     /// Output directory override (the coordinator points each worker at
     /// its own).
     out_dir: Option<String>,
+    /// `--mine`: run the inconsistency miner instead of the battery.
+    mine: bool,
+    /// `--mine-budget <n>`: cells to sample (default 64).
+    mine_budget: Option<usize>,
+    /// `--mine-bound <f>`: divergence-shift bound (default 0.25).
+    mine_bound: Option<f64>,
+    /// `--mine-export <dir>`: also write one file per confirmed cliff.
+    mine_export: Option<String>,
+    /// `--mine-cell benchmark:delta`: re-probe one cell and exit.
+    mine_cell: Option<String>,
 }
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -155,6 +190,11 @@ fn selection() -> Result<Cli, String> {
     let mut shard: Option<String> = None;
     let mut workers: Option<u32> = None;
     let mut out_dir: Option<String> = None;
+    let mut mine = false;
+    let mut mine_budget: Option<usize> = None;
+    let mut mine_bound: Option<f64> = None;
+    let mut mine_export: Option<String> = None;
+    let mut mine_cell: Option<String> = None;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--sampled" => sampled = true,
@@ -183,6 +223,27 @@ fn selection() -> Result<Cli, String> {
             "--out-dir" => {
                 out_dir = Some(args.next().ok_or("--out-dir needs a directory")?);
             }
+            "--mine" => mine = true,
+            "--mine-budget" => {
+                let n = args.next().ok_or("--mine-budget needs a cell count")?;
+                mine_budget = Some(
+                    n.parse()
+                        .map_err(|_| format!("--mine-budget count {n:?} is not a number"))?,
+                );
+            }
+            "--mine-bound" => {
+                let b = args.next().ok_or("--mine-bound needs a bound")?;
+                mine_bound = Some(
+                    b.parse()
+                        .map_err(|_| format!("--mine-bound {b:?} is not a number"))?,
+                );
+            }
+            "--mine-export" => {
+                mine_export = Some(args.next().ok_or("--mine-export needs a directory")?);
+            }
+            "--mine-cell" => {
+                mine_cell = Some(args.next().ok_or("--mine-cell needs benchmark:delta")?);
+            }
             "--only" => {
                 explicit = true;
                 let list = args
@@ -199,7 +260,9 @@ fn selection() -> Result<Cli, String> {
                 return Err(format!(
                     "unknown argument {other:?} (expected --sampled, --only <list>, \
                      --cache-dir <dir>, --no-cache, --verify-golden <dir>, \
-                     --shard i/N, --workers <n> or --out-dir <dir>)"
+                     --shard i/N, --workers <n>, --out-dir <dir>, --mine, \
+                     --mine-budget <n>, --mine-bound <f>, --mine-export <dir> \
+                     or --mine-cell <benchmark>:<delta>)"
                 ))
             }
         }
@@ -217,6 +280,27 @@ fn selection() -> Result<Cli, String> {
         return Err("--shard and --workers are mutually exclusive \
                     (the coordinator assigns shards itself)"
             .to_owned());
+    }
+    if !mine
+        && mine_cell.is_none()
+        && (mine_budget.is_some() || mine_bound.is_some() || mine_export.is_some())
+    {
+        return Err("--mine-budget/--mine-bound/--mine-export need --mine".to_owned());
+    }
+    if (mine || mine_cell.is_some()) && verify_golden.is_some() {
+        return Err(
+            "--verify-golden applies to the experiment battery, not --mine \
+                    (the cliffs-golden gate lives in the test suite)"
+                .to_owned(),
+        );
+    }
+    if mine_export.is_some() && workers.is_some() {
+        return Err("--mine-export is a solo-run flag (the coordinator merges \
+                    workers' reports; export from a single run)"
+            .to_owned());
+    }
+    if mine_cell.is_some() && (workers.is_some() || shard.is_some()) {
+        return Err("--mine-cell re-probes one cell and does not shard".to_owned());
     }
     // Cache resolution: --no-cache wins; then --cache-dir; then the
     // environment (including its own off switch); then the default dir.
@@ -244,6 +328,11 @@ fn selection() -> Result<Cli, String> {
         shard,
         workers,
         out_dir,
+        mine: mine || mine_cell.is_some(),
+        mine_budget,
+        mine_bound,
+        mine_export,
+        mine_cell,
     })
 }
 
@@ -322,11 +411,20 @@ fn spawn_worker(
         .arg("--cache-dir")
         .arg(cache_dir)
         .arg("--out-dir")
-        .arg(&worker.out_dir)
-        .arg("--only")
-        .arg(cli.selected.join(","));
-    if cli.sampled {
-        cmd.arg("--sampled");
+        .arg(&worker.out_dir);
+    if cli.mine {
+        cmd.arg("--mine");
+        if let Some(n) = cli.mine_budget {
+            cmd.arg("--mine-budget").arg(n.to_string());
+        }
+        if let Some(b) = cli.mine_bound {
+            cmd.arg("--mine-bound").arg(b.to_string());
+        }
+    } else {
+        cmd.arg("--only").arg(cli.selected.join(","));
+        if cli.sampled {
+            cmd.arg("--sampled");
+        }
     }
     cmd.env("MICROLIB_WORKER_ID", worker.id.to_string())
         .env("MICROLIB_THREADS", threads.to_string())
@@ -360,13 +458,7 @@ fn coordinate(cli: &Cli, worker_count: u32) -> i32 {
         .clone()
         .expect("selection() rejects --workers without a cache dir");
     let cache_root = PathBuf::from(&cache_dir);
-    let out_dir = cli.out_dir.clone().unwrap_or_else(|| {
-        if cli.sampled {
-            "results-sampled".to_owned()
-        } else {
-            "results".to_owned()
-        }
-    });
+    let out_dir = cli.out_dir.clone().unwrap_or_else(|| default_out_dir(cli));
     let exe = match std::env::current_exe() {
         Ok(exe) => exe,
         Err(e) => {
@@ -582,7 +674,14 @@ fn coordinate(cli: &Cli, worker_count: u32) -> i32 {
         eprintln!("cannot create {out_dir}/");
         return 2;
     }
-    for name in &cli.selected {
+    // In mine mode every worker produces the single deterministic mining
+    // report; the battery produces one file per selected experiment.
+    let merge_names: Vec<&str> = if cli.mine {
+        vec!["mine"]
+    } else {
+        cli.selected.clone()
+    };
+    for name in &merge_names {
         let reference = fs::read(sources[0].out_dir.join(format!("{name}.txt")));
         let Ok(reference) = reference else {
             eprintln!(
@@ -619,7 +718,7 @@ fn coordinate(cli: &Cli, worker_count: u32) -> i32 {
     if merge_mismatch == 0 {
         println!(
             "merged {} result file(s) from {} worker(s) into {out_dir}/ (all byte-identical)",
-            cli.selected.len(),
+            merge_names.len(),
             sources.len()
         );
     }
@@ -679,6 +778,174 @@ fn coordinate(cli: &Cli, worker_count: u32) -> i32 {
     code
 }
 
+/// Where results land when `--out-dir` is not given.
+fn default_out_dir(cli: &Cli) -> String {
+    if cli.mine {
+        "results-mine".to_owned()
+    } else if cli.sampled {
+        "results-sampled".to_owned()
+    } else {
+        "results".to_owned()
+    }
+}
+
+/// `MICROLIB_SEED`, accepting both decimal and the `0x`-prefixed hex the
+/// cliff repro lines print.
+fn env_seed() -> u64 {
+    let Ok(raw) = std::env::var("MICROLIB_SEED") else {
+        return 0xC0FFEE;
+    };
+    let raw = raw.trim();
+    match raw.strip_prefix("0x").or_else(|| raw.strip_prefix("0X")) {
+        Some(hex) => u64::from_str_radix(hex, 16).ok(),
+        None => raw.parse().ok(),
+    }
+    .unwrap_or(0xC0FFEE)
+}
+
+/// The `--mine` mode: runs the differential inconsistency miner (or a
+/// single `--mine-cell` re-probe) instead of the experiment battery and
+/// returns the process exit code. The report written to
+/// `<out-dir>/mine.txt` is fully deterministic — cache and timing
+/// counters go to stderr — so a warm re-run (and every parallel worker)
+/// produces byte-identical output.
+fn run_mine(cli: &Cli) -> i32 {
+    // Mining probes dozens of cells x mechanisms x two tiers, so it
+    // defaults to a much smaller window than the battery; the usual
+    // environment overrides still apply (and the cliff repro lines
+    // set them explicitly).
+    let window = TraceWindow::new(
+        env_u64("MICROLIB_SKIP", 2_000),
+        env_u64("MICROLIB_SIM", 4_000),
+    );
+    let base_opts = SimOptions {
+        seed: env_seed(),
+        window,
+        ..SimOptions::default()
+    };
+    let mut cfg = MineConfig::standard(base_opts);
+    if let Some(n) = cli.mine_budget {
+        cfg.budget = n;
+    }
+    if let Some(b) = cli.mine_bound {
+        cfg.bound = b;
+    }
+    cfg.threads = std_threads();
+    if let Some(spec) = &cli.shard {
+        let s = microlib::ShardSpec::parse(spec).expect("selection() validated --shard");
+        cfg.shard = Some((s.index, s.count));
+    }
+    let cx = Context::new();
+    let store = cx.store();
+    if let Some(spec) = &cli.mine_cell {
+        return match reprobe_cell(store, spec, &cfg) {
+            Ok(text) => {
+                print!("{text}");
+                store.finish();
+                0
+            }
+            Err(e) => {
+                eprintln!("{e}");
+                2
+            }
+        };
+    }
+    let out_dir = cli.out_dir.clone().unwrap_or_else(|| default_out_dir(cli));
+    if fs::create_dir_all(&out_dir).is_err() {
+        eprintln!("cannot create {out_dir}/");
+        return 2;
+    }
+    let t = Instant::now();
+    println!(
+        ">>> mining {} cells (bound {:.4}, window skip={} sim={})",
+        cfg.budget, cfg.bound, window.skip, window.simulate
+    );
+    let report = mine(store, &cfg);
+
+    let mut out = String::new();
+    out.push_str(&format!(
+        "inconsistency mining: seed={:#x} skip={} sim={} budget={} bound={:.4} perturb={:.4}\n",
+        cfg.base_opts.seed,
+        window.skip,
+        window.simulate,
+        cfg.budget,
+        cfg.bound,
+        perturb_from_env(),
+    ));
+    out.push_str(&format!(
+        "mechanisms: {}\n\n",
+        cfg.mechanisms
+            .iter()
+            .map(|m| m.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    ));
+    let mut failed = 0usize;
+    for cell in &report.cells {
+        let verdict = match &cell.outcome {
+            CellOutcome::Consistent => "consistent".to_owned(),
+            CellOutcome::Cliff(r) => format!("cliff {:016x} ({})", r.id(), r.kind.label()),
+            CellOutcome::Failed(e) => {
+                failed += 1;
+                format!("FAILED {e}")
+            }
+        };
+        out.push_str(&format!(
+            "cell {:3} {}:{} -> {verdict}\n",
+            cell.index,
+            cell.benchmark,
+            cell.delta.key()
+        ));
+    }
+    let cliffs = report.cliffs();
+    for r in &cliffs {
+        out.push('\n');
+        out.push_str(&r.render());
+    }
+    out.push_str(&format!(
+        "\nmined {} cells: {} cliffs, {} failed\n",
+        report.cells.len(),
+        cliffs.len(),
+        failed
+    ));
+    let path = format!("{out_dir}/mine.txt");
+    if fs::write(&path, &out).is_err() {
+        eprintln!("cannot write {path}");
+        return 2;
+    }
+    println!("    -> {path} ({:.1?})", t.elapsed());
+    if let Some(export) = &cli.mine_export {
+        if fs::create_dir_all(export).is_err() {
+            eprintln!("cannot create {export}/");
+            return 2;
+        }
+        for r in &cliffs {
+            let p = format!("{export}/cliff-{:016x}.txt", r.id());
+            if fs::write(&p, r.render()).is_err() {
+                eprintln!("cannot write {p}");
+                return 2;
+            }
+        }
+        println!("exported {} cliff record(s) to {export}/", cliffs.len());
+    }
+    store.finish();
+    // The CI smoke markers: cliff yield and incrementality.
+    eprintln!(
+        "miner: found and minimized {} cliff(s) across {} cells",
+        cliffs.len(),
+        report.cells.len()
+    );
+    eprintln!(
+        "miner: recomputed {} mine cells, {} served from cache",
+        report.computed, report.cached
+    );
+    if failed > 0 {
+        eprintln!("MINING FAILED — {failed} cell(s) could not be probed (see {path})");
+        return 1;
+    }
+    0
+}
+
 fn main() {
     let cli = match selection() {
         Ok(s) => s,
@@ -715,13 +982,10 @@ fn main() {
     // resolved, before any real work).
     let worker_id = std::env::var("MICROLIB_WORKER_ID").unwrap_or_default();
     microlib::fault::trigger("worker-start", &worker_id);
-    let out_dir = cli.out_dir.clone().unwrap_or_else(|| {
-        if cli.sampled {
-            "results-sampled".to_owned()
-        } else {
-            "results".to_owned()
-        }
-    });
+    if cli.mine {
+        exit(run_mine(&cli));
+    }
+    let out_dir = cli.out_dir.clone().unwrap_or_else(|| default_out_dir(&cli));
     fs::create_dir_all(&out_dir).expect("results dir");
     let mut cx = Context::new();
     if let Some(spec) = &cli.shard {

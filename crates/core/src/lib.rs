@@ -53,6 +53,7 @@
 
 #![warn(missing_docs)]
 
+mod analytic;
 mod artifacts;
 mod campaign;
 mod disk;
@@ -67,13 +68,15 @@ mod shard;
 mod simulator;
 mod validation;
 
+pub use analytic::{run_analytic, AnalyticResult};
 pub use artifacts::{config_key, ArtifactStore, ArtifactStoreStats};
 pub use campaign::{Campaign, CampaignCell, CampaignReport, CellUpdate};
 pub use disk::{DiskCache, FORMAT_VERSION};
 pub use experiment::{run_matrix, ExperimentConfig, Matrix};
 pub use lease::{set_run_scope, Claim, LeaseGuard, LeaseManager, QuarantineReport};
 pub use ranking::{
-    rank_mechanisms, ranking_row, subset_winner_analysis, RankedMechanism, SubsetWinners,
+    rank_by_speedup, rank_mechanisms, ranking_row, subset_winner_analysis, RankedMechanism,
+    SubsetWinners,
 };
 pub use sampling::SamplingMode;
 pub use sensitivity::{benchmark_sensitivity, sensitivity_classes, BenchmarkSensitivity};

@@ -35,18 +35,40 @@ pub struct RankedMechanism {
 /// # Ok::<(), microlib::SimError>(())
 /// ```
 pub fn rank_mechanisms(matrix: &Matrix, selection: &[&str]) -> Vec<RankedMechanism> {
-    let mut rows: Vec<(usize, MechanismKind, f64)> = matrix
+    let rows: Vec<(MechanismKind, f64)> = matrix
         .mechanisms()
         .iter()
-        .enumerate()
-        .map(|(i, k)| (i, *k, matrix.mean_speedup_over(*k, selection)))
+        .map(|k| (*k, matrix.mean_speedup_over(*k, selection)))
         .collect();
-    rows.sort_by(|a, b| {
-        b.2.partial_cmp(&a.2)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.0.cmp(&b.0))
+    rank_by_speedup(&rows)
+}
+
+/// Ranks `(mechanism, speedup)` rows by speedup, descending. Ties break
+/// toward the earlier row. The sort uses [`f64::total_cmp`], so the order
+/// is well-defined (and stable across std versions) even when a degenerate
+/// input produces a NaN speedup — NaN sorts below every real value rather
+/// than poisoning the comparator.
+///
+/// This is the single ranking primitive: both the matrix-level
+/// [`rank_mechanisms`] and the miner's per-tier rankings go through it, so
+/// a tier ranking flip can never be an artifact of two different sort
+/// rules.
+pub fn rank_by_speedup(rows: &[(MechanismKind, f64)]) -> Vec<RankedMechanism> {
+    let mut indexed: Vec<(usize, MechanismKind, f64)> = rows
+        .iter()
+        .enumerate()
+        .map(|(i, (k, s))| (i, *k, *s))
+        .collect();
+    indexed.sort_by(|a, b| match (a.2.is_nan(), b.2.is_nan()) {
+        // NaN rows sink below every real speedup (total_cmp alone would
+        // float positive NaN above +inf in a descending sort).
+        (true, true) => a.0.cmp(&b.0),
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        (false, false) => b.2.total_cmp(&a.2).then(a.0.cmp(&b.0)),
     });
-    rows.into_iter()
+    indexed
+        .into_iter()
         .enumerate()
         .map(|(rank, (_, mechanism, mean_speedup))| RankedMechanism {
             mechanism,
@@ -216,6 +238,41 @@ mod tests {
         assert_eq!(ranked[0].rank, 1);
         assert!(ranked[0].mean_speedup >= ranked[1].mean_speedup);
         assert!(ranked[1].mean_speedup >= ranked[2].mean_speedup);
+    }
+
+    #[test]
+    fn rank_by_speedup_is_total_even_with_nan() {
+        // Regression: the old comparator used partial_cmp().unwrap_or(Equal),
+        // which is not a total order when a degenerate speedup is NaN and
+        // could give unspecified orderings. total_cmp sorts NaN last.
+        let rows = [
+            (MechanismKind::Tp, f64::NAN),
+            (MechanismKind::Sp, 1.2),
+            (MechanismKind::Base, 1.0),
+            (MechanismKind::Ghb, f64::NAN),
+        ];
+        let ranked = rank_by_speedup(&rows);
+        assert_eq!(ranked[0].mechanism, MechanismKind::Sp);
+        assert_eq!(ranked[1].mechanism, MechanismKind::Base);
+        // Both NaNs sort below every real value, original order preserved.
+        assert_eq!(ranked[2].mechanism, MechanismKind::Tp);
+        assert_eq!(ranked[3].mechanism, MechanismKind::Ghb);
+        assert_eq!(
+            ranked.iter().map(|r| r.rank).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4]
+        );
+    }
+
+    #[test]
+    fn rank_by_speedup_breaks_ties_by_position() {
+        let rows = [
+            (MechanismKind::Base, 1.0),
+            (MechanismKind::Vc, 1.5),
+            (MechanismKind::Tp, 1.5),
+        ];
+        let ranked = rank_by_speedup(&rows);
+        assert_eq!(ranked[0].mechanism, MechanismKind::Vc);
+        assert_eq!(ranked[1].mechanism, MechanismKind::Tp);
     }
 
     #[test]

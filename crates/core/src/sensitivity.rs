@@ -56,11 +56,10 @@ pub fn benchmark_sensitivity(matrix: &Matrix) -> Vec<BenchmarkSensitivity> {
             }
         })
         .collect();
-    rows.sort_by(|a, b| {
-        b.span()
-            .partial_cmp(&a.span())
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    // total_cmp keeps the comparator a genuine total order even if a
+    // degenerate matrix yields a NaN span (same class of hazard as the
+    // ranking sort — see rank_by_speedup).
+    rows.sort_by(|a, b| b.span().total_cmp(&a.span()));
     rows
 }
 

@@ -1,0 +1,294 @@
+//! The analytic CPI tier: a closed-form latency-stack predictor that turns
+//! cheap functional-warm cache counters into a CPI estimate without running
+//! the detailed out-of-order core.
+//!
+//! This is the "first-order model" half of the differential inconsistency
+//! miner (`crates/miner`): the detailed simulator and this stack model the
+//! same machine at very different fidelity, and configurations where they
+//! disagree — in CPI magnitude or in mechanism *ranking* — are exactly the
+//! configurations where one of the models' assumptions breaks. The model is
+//! deliberately simple and fully deterministic: a base issue-limited CPI
+//! plus additive miss-latency terms, each divided by a memory-level-
+//! parallelism (MLP) factor derived from the configuration.
+//!
+//! The stack (all terms in cycles per instruction):
+//!
+//! ```text
+//! CPI = base + l1d_extra + l2_term + memory_term + icache_term
+//!   base        = 1 / min(fetch, decode, issue, commit width)
+//!   l1d_extra   = (l1d latency − 1) × data accesses per instruction
+//!   l2_term     = l1d misses/inst × (L2 latency + L1↔L2 bus) / MLP_l2
+//!   memory_term = L2 misses/inst × memory latency               / MLP_mem
+//!   icache_term = L1I misses/inst × (L2 latency + L1↔L2 bus)
+//! ```
+//!
+//! where the MLP divisors grow with the square root of the overlap
+//! resources (MSHR entries, window size) — Little's-law-flavoured, like the
+//! first-order models of Karkhanis & Smith (ISCA 2004).
+
+use microlib_model::{BusConfig, MemoryModel, SystemConfig};
+
+/// Counters measured over a (functionally warmed) instruction window, the
+/// activity inputs of [`CpiModel::predict`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CpiCounters {
+    /// Instructions in the window.
+    pub instructions: u64,
+    /// Data accesses (loads + stores) issued to the L1D.
+    pub data_accesses: u64,
+    /// L1D demand misses.
+    pub l1d_misses: u64,
+    /// L1D misses served by a mechanism sidecar (victim cache etc.) at
+    /// near-hit latency instead of the full L2 round trip.
+    pub sidecar_hits: u64,
+    /// L1I demand misses.
+    pub l1i_misses: u64,
+    /// L2 demand misses (requests that went to main memory).
+    pub l2_misses: u64,
+}
+
+/// One predicted CPI, split into its stack terms (all cycles/instruction).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CpiBreakdown {
+    /// Issue-width-limited base term.
+    pub base: f64,
+    /// Extra L1D hit latency beyond the single implicit cycle.
+    pub l1d_extra: f64,
+    /// L1D-miss / L2-hit term.
+    pub l2: f64,
+    /// L2-miss / main-memory term.
+    pub memory: f64,
+    /// Instruction-fetch miss term.
+    pub icache: f64,
+}
+
+impl CpiBreakdown {
+    /// The total predicted CPI (sum of all terms).
+    pub fn total(&self) -> f64 {
+        self.base + self.l1d_extra + self.l2 + self.memory + self.icache
+    }
+}
+
+/// The analytic CPI model: pure configuration-derived latencies, no
+/// simulation state. See the module docs for the stack.
+///
+/// # Examples
+///
+/// ```
+/// use microlib_cost::{CpiCounters, CpiModel};
+/// use microlib_model::SystemConfig;
+///
+/// let model = CpiModel::for_config(&SystemConfig::baseline_constant_memory());
+/// let hit_heavy = CpiCounters {
+///     instructions: 10_000,
+///     data_accesses: 4_000,
+///     l1d_misses: 10,
+///     ..CpiCounters::default()
+/// };
+/// let miss_heavy = CpiCounters {
+///     l1d_misses: 2_000,
+///     l2_misses: 1_000,
+///     ..hit_heavy
+/// };
+/// assert!(model.predict(&miss_heavy).total() > model.predict(&hit_heavy).total());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CpiModel {
+    /// Issue-limited base CPI.
+    pub base_cpi: f64,
+    /// Extra cycles per data access beyond the implicit hit cycle.
+    pub l1d_extra_per_access: f64,
+    /// Cycles an L1D miss pays to reach the L2 and come back.
+    pub l2_round_trip: f64,
+    /// Cycles a sidecar (victim-cache) hit pays instead of the round trip.
+    pub sidecar_round_trip: f64,
+    /// Cycles an L2 miss pays to reach main memory and come back.
+    pub memory_round_trip: f64,
+    /// MLP divisor applied to the L2 term.
+    pub mlp_l2: f64,
+    /// MLP divisor applied to the memory term.
+    pub mlp_memory: f64,
+}
+
+/// Approximate service latency of one main-memory access under `model`,
+/// in CPU cycles: the flat constant, or a first-order SDRAM estimate — a
+/// ~2/3 row-hit mix (tRCD + CAS, plus the precharge on the row-miss
+/// fraction) plus half a row cycle of queueing/bank-conflict pressure —
+/// plus the line transfer on `bus`. Deliberately crude: the detailed
+/// SDRAM controller models per-bank state and scheduling that this single
+/// number cannot, which is exactly the kind of gap the miner hunts.
+fn memory_latency(model: &MemoryModel, bus: &BusConfig, line_bytes: u64) -> f64 {
+    let transfer = bus.cycles_for(line_bytes) as f64;
+    match model {
+        MemoryModel::Constant { latency } => *latency as f64 + transfer,
+        MemoryModel::Sdram(s) => {
+            let row_hit = (s.t_rcd + s.cas) as f64;
+            let row_miss = (s.t_rp + s.t_rcd + s.cas) as f64;
+            let queueing = s.t_rc as f64 * 0.5;
+            (2.0 / 3.0) * row_hit + (1.0 / 3.0) * row_miss + queueing + transfer
+        }
+    }
+}
+
+/// Memory-level-parallelism divisor from the overlap resources: grows with
+/// the square root of outstanding-miss capacity, capped by the window's
+/// ability to expose independent misses. Always at least 1.
+fn mlp(mshr_entries: u32, mshr_reads: u32, ruu_entries: u32) -> f64 {
+    let capacity = (mshr_entries as f64) * (mshr_reads as f64).sqrt();
+    let window = (ruu_entries as f64 / 16.0).max(1.0);
+    capacity.min(window).sqrt().max(1.0)
+}
+
+impl CpiModel {
+    /// Derives every latency and MLP parameter from `config`.
+    pub fn for_config(config: &SystemConfig) -> Self {
+        let width = config
+            .core
+            .fetch_width
+            .min(config.core.decode_width)
+            .min(config.core.issue_width)
+            .min(config.core.commit_width)
+            .max(1);
+        let l2_round_trip =
+            config.l2.latency as f64 + config.l1_l2_bus.cycles_for(config.l1d.line_bytes) as f64;
+        CpiModel {
+            base_cpi: 1.0 / width as f64,
+            l1d_extra_per_access: (config.l1d.latency.saturating_sub(1)) as f64,
+            l2_round_trip,
+            // A sidecar hit still pays the probe + transfer, roughly the
+            // L1 latency plus one extra cycle.
+            sidecar_round_trip: (config.l1d.latency + 1) as f64,
+            memory_round_trip: memory_latency(
+                &config.memory,
+                &config.memory_bus,
+                config.l2.line_bytes,
+            ),
+            mlp_l2: mlp(
+                config.l1d.mshr_entries,
+                config.l1d.mshr_reads_per_entry,
+                config.core.ruu_entries,
+            ),
+            mlp_memory: mlp(
+                config.l2.mshr_entries,
+                config.l2.mshr_reads_per_entry,
+                config.core.ruu_entries,
+            ),
+        }
+    }
+
+    /// Predicts the CPI stack for one measured window. Returns an all-zero
+    /// breakdown when `counters.instructions` is zero.
+    pub fn predict(&self, counters: &CpiCounters) -> CpiBreakdown {
+        if counters.instructions == 0 {
+            return CpiBreakdown::default();
+        }
+        let per_inst = |n: u64| n as f64 / counters.instructions as f64;
+        // Sidecar-served misses pay the short sidecar trip, the rest the
+        // full L2 round trip.
+        let full_misses = counters.l1d_misses.saturating_sub(counters.sidecar_hits);
+        CpiBreakdown {
+            base: self.base_cpi,
+            l1d_extra: per_inst(counters.data_accesses) * self.l1d_extra_per_access,
+            l2: (per_inst(full_misses) * self.l2_round_trip
+                + per_inst(counters.sidecar_hits.min(counters.l1d_misses))
+                    * self.sidecar_round_trip)
+                / self.mlp_l2,
+            memory: per_inst(counters.l2_misses) * self.memory_round_trip / self.mlp_memory,
+            icache: per_inst(counters.l1i_misses) * self.l2_round_trip,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use microlib_model::SdramConfig;
+
+    fn counters() -> CpiCounters {
+        CpiCounters {
+            instructions: 100_000,
+            data_accesses: 40_000,
+            l1d_misses: 2_000,
+            sidecar_hits: 0,
+            l1i_misses: 50,
+            l2_misses: 800,
+        }
+    }
+
+    #[test]
+    fn zero_instructions_predicts_zero() {
+        let m = CpiModel::for_config(&SystemConfig::baseline());
+        assert_eq!(m.predict(&CpiCounters::default()).total(), 0.0);
+    }
+
+    #[test]
+    fn misses_raise_cpi() {
+        let m = CpiModel::for_config(&SystemConfig::baseline_constant_memory());
+        let base = m.predict(&counters());
+        let mut worse = counters();
+        worse.l2_misses *= 4;
+        assert!(m.predict(&worse).total() > base.total());
+    }
+
+    #[test]
+    fn fewer_mshrs_mean_less_overlap() {
+        let fat = CpiModel::for_config(&SystemConfig::baseline_constant_memory());
+        let mut cfg = SystemConfig::baseline_constant_memory();
+        cfg.l1d.mshr_entries = 1;
+        cfg.l1d.mshr_reads_per_entry = 1;
+        cfg.l2.mshr_entries = 1;
+        cfg.l2.mshr_reads_per_entry = 1;
+        let thin = CpiModel::for_config(&cfg);
+        assert!(thin.mlp_l2 <= fat.mlp_l2);
+        assert!(thin.predict(&counters()).total() >= fat.predict(&counters()).total());
+    }
+
+    #[test]
+    fn sdram_costs_more_than_a_fast_constant() {
+        let sdram = CpiModel::for_config(&SystemConfig::baseline());
+        let constant = CpiModel::for_config(&SystemConfig::baseline_constant_memory());
+        // Baseline SDRAM-170 has a longer average access than constant-70.
+        assert!(sdram.memory_round_trip > constant.memory_round_trip);
+    }
+
+    #[test]
+    fn scaled_sdram_approximates_seventy_cycles() {
+        let mut cfg = SystemConfig::baseline();
+        cfg.memory = MemoryModel::Sdram(SdramConfig::scaled_to_70_cycles());
+        let m = CpiModel::for_config(&cfg);
+        // The scaled SDRAM was calibrated to a ~70-cycle average; the
+        // analytic approximation should land in its neighbourhood.
+        assert!(
+            m.memory_round_trip > 20.0 && m.memory_round_trip < 90.0,
+            "approximation {} strayed from the 70-cycle ballpark",
+            m.memory_round_trip
+        );
+    }
+
+    #[test]
+    fn sidecar_hits_discount_the_l2_term() {
+        let m = CpiModel::for_config(&SystemConfig::baseline_constant_memory());
+        let without = m.predict(&counters());
+        let mut with = counters();
+        with.sidecar_hits = 1_500;
+        let with = m.predict(&with);
+        assert!(with.l2 < without.l2);
+        assert!(with.total() < without.total());
+    }
+
+    #[test]
+    fn breakdown_sums_to_total() {
+        let m = CpiModel::for_config(&SystemConfig::baseline());
+        let b = m.predict(&counters());
+        let sum = b.base + b.l1d_extra + b.l2 + b.memory + b.icache;
+        assert!((sum - b.total()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prediction_is_bit_deterministic() {
+        let m = CpiModel::for_config(&SystemConfig::baseline());
+        let a = m.predict(&counters()).total();
+        let b = m.predict(&counters()).total();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

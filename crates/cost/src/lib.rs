@@ -26,7 +26,9 @@
 #![warn(missing_docs)]
 
 mod area;
+mod cpi;
 mod power;
 
 pub use area::AreaModel;
+pub use cpi::{CpiBreakdown, CpiCounters, CpiModel};
 pub use power::{CostModels, EnergyModel, RunActivity};

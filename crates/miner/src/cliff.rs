@@ -1,0 +1,285 @@
+//! Cliff records: the reproducible, content-keyed text artifacts the
+//! miner emits and the `cliffs-golden/` gate byte-compares.
+
+use crate::probe::{CliffKind, ProbeOutcome};
+use microlib_mech::MechanismKind;
+use microlib_model::codec::fnv1a;
+
+/// One confirmed inconsistency cell, fully reproducible from its fields.
+///
+/// [`render`](CliffRecord::render) produces the canonical text form
+/// (fixed field order, 4-decimal floats, content id derived from the
+/// body) and [`parse`](CliffRecord::parse) round-trips it; the golden
+/// gate re-probes the *minimal* delta and re-renders, so any change in
+/// either tier's numbers shows up as a byte diff.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CliffRecord {
+    /// Benchmark the cell runs.
+    pub benchmark: String,
+    /// Why the cell is inconsistent.
+    pub kind: CliffKind,
+    /// The sampled delta the miner hit (key form).
+    pub original: String,
+    /// The minimized delta (key form).
+    pub minimal: String,
+    /// Trace seed.
+    pub seed: u64,
+    /// Warm-up instructions of the mining run's base window.
+    pub skip: u64,
+    /// Measured instructions of the base window (a `win` knob in the
+    /// delta scales this on probe, when mined and when reproduced).
+    pub simulate: u64,
+    /// Disagreement bound the mining run used.
+    pub bound: f64,
+    /// Injected analytic perturbation active when mined (normally 0).
+    pub perturb: f64,
+    /// Probed mechanisms, Base first.
+    pub mechanisms: Vec<MechanismKind>,
+    /// Detailed-tier CPI per mechanism (probe order).
+    pub detailed_cpi: Vec<f64>,
+    /// Analytic-tier CPI per mechanism (probe order).
+    pub analytic_cpi: Vec<f64>,
+    /// Non-Base mechanisms by detailed speedup, best first.
+    pub detailed_rank: Vec<MechanismKind>,
+    /// Non-Base mechanisms by analytic speedup, best first.
+    pub analytic_rank: Vec<MechanismKind>,
+    /// Largest relative speedup divergence at this cell.
+    pub max_rel_err: f64,
+    /// The benchmark's divergence at the baseline cell.
+    pub baseline_rel_err: f64,
+    /// Largest per-mechanism shift in signed relative error between the
+    /// baseline cell and this one — the disagreement criterion the miner
+    /// compared against the bound.
+    pub divergence_shift: f64,
+}
+
+fn join_mechs(mechs: &[MechanismKind], sep: &str) -> String {
+    mechs
+        .iter()
+        .map(|m| m.to_string())
+        .collect::<Vec<_>>()
+        .join(sep)
+}
+
+fn parse_mechs(s: &str, sep: char) -> Option<Vec<MechanismKind>> {
+    if s.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(sep)
+        .map(|p| MechanismKind::by_acronym(p.trim()))
+        .collect()
+}
+
+fn join_f64(v: &[f64]) -> String {
+    v.iter()
+        .map(|x| format!("{x:.4}"))
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_f64s(s: &str) -> Option<Vec<f64>> {
+    if s.trim().is_empty() {
+        return Some(Vec::new());
+    }
+    s.split(',').map(|p| p.trim().parse().ok()).collect()
+}
+
+impl CliffRecord {
+    /// Builds a record from the final probe of the minimized delta.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_probe(
+        benchmark: &str,
+        kind: CliffKind,
+        original: &str,
+        minimal: &str,
+        seed: u64,
+        skip: u64,
+        simulate: u64,
+        bound: f64,
+        perturb: f64,
+        baseline_rel_err: f64,
+        divergence_shift: f64,
+        outcome: &ProbeOutcome,
+    ) -> Self {
+        CliffRecord {
+            benchmark: benchmark.to_owned(),
+            kind,
+            original: original.to_owned(),
+            minimal: minimal.to_owned(),
+            seed,
+            skip,
+            simulate,
+            bound,
+            perturb,
+            mechanisms: outcome.pairs.iter().map(|p| p.mechanism).collect(),
+            detailed_cpi: outcome.pairs.iter().map(|p| p.detailed_cpi).collect(),
+            analytic_cpi: outcome.pairs.iter().map(|p| p.analytic_cpi).collect(),
+            detailed_rank: outcome.detailed_rank.clone(),
+            analytic_rank: outcome.analytic_rank.clone(),
+            max_rel_err: outcome.max_rel_err,
+            baseline_rel_err,
+            divergence_shift,
+        }
+    }
+
+    /// The record body (everything below the id line).
+    fn body(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!("benchmark: {}\n", self.benchmark));
+        s.push_str(&format!("kind: {}\n", self.kind.label()));
+        s.push_str(&format!("original: {}\n", self.original));
+        s.push_str(&format!("minimal: {}\n", self.minimal));
+        s.push_str(&format!("seed: {:#x}\n", self.seed));
+        s.push_str(&format!(
+            "window: skip={} sim={}\n",
+            self.skip, self.simulate
+        ));
+        s.push_str(&format!("bound: {:.4}\n", self.bound));
+        s.push_str(&format!("perturb: {:.4}\n", self.perturb));
+        s.push_str(&format!(
+            "mechanisms: {}\n",
+            join_mechs(&self.mechanisms, ",")
+        ));
+        s.push_str(&format!("detailed-cpi: {}\n", join_f64(&self.detailed_cpi)));
+        s.push_str(&format!("analytic-cpi: {}\n", join_f64(&self.analytic_cpi)));
+        s.push_str(&format!(
+            "detailed-rank: {}\n",
+            join_mechs(&self.detailed_rank, ">")
+        ));
+        s.push_str(&format!(
+            "analytic-rank: {}\n",
+            join_mechs(&self.analytic_rank, ">")
+        ));
+        s.push_str(&format!("max-rel-err: {:.4}\n", self.max_rel_err));
+        s.push_str(&format!("baseline-rel-err: {:.4}\n", self.baseline_rel_err));
+        s.push_str(&format!("divergence-shift: {:.4}\n", self.divergence_shift));
+        s.push_str(&format!(
+            "repro: MICROLIB_SKIP={} MICROLIB_SIM={} MICROLIB_SEED={:#x} run_all \
+             --mine-cell {}:{} --mine-bound {:.4}\n",
+            self.skip, self.simulate, self.seed, self.benchmark, self.minimal, self.bound
+        ));
+        s
+    }
+
+    /// Content id: FNV-1a over the body, so identical inconsistencies
+    /// found by different runs share a key.
+    pub fn id(&self) -> u64 {
+        fnv1a(self.body().as_bytes())
+    }
+
+    /// Canonical text form: `cliff <id>` followed by the body.
+    pub fn render(&self) -> String {
+        format!("cliff {:016x}\n{}", self.id(), self.body())
+    }
+
+    /// Parses a [`render`](CliffRecord::render)ed record. Returns `None`
+    /// on malformed input or an id that does not match the body (a
+    /// hand-edited record must not pass the gate silently).
+    pub fn parse(text: &str) -> Option<CliffRecord> {
+        let mut fields = std::collections::HashMap::new();
+        let mut id: Option<u64> = None;
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("cliff ") {
+                id = u64::from_str_radix(rest.trim(), 16).ok();
+            } else if let Some((k, v)) = line.split_once(':') {
+                fields.insert(k.trim().to_owned(), v.trim().to_owned());
+            }
+        }
+        let get = |k: &str| fields.get(k).cloned();
+        let window = get("window")?;
+        let (skip_part, sim_part) = window.split_once(' ')?;
+        let record = CliffRecord {
+            benchmark: get("benchmark")?,
+            kind: CliffKind::parse(&get("kind")?)?,
+            original: get("original")?,
+            minimal: get("minimal")?,
+            seed: {
+                let s = get("seed")?;
+                u64::from_str_radix(s.strip_prefix("0x")?, 16).ok()?
+            },
+            skip: skip_part.strip_prefix("skip=")?.parse().ok()?,
+            simulate: sim_part.strip_prefix("sim=")?.parse().ok()?,
+            bound: get("bound")?.parse().ok()?,
+            perturb: get("perturb")?.parse().ok()?,
+            mechanisms: parse_mechs(&get("mechanisms")?, ',')?,
+            detailed_cpi: parse_f64s(&get("detailed-cpi")?)?,
+            analytic_cpi: parse_f64s(&get("analytic-cpi")?)?,
+            detailed_rank: parse_mechs(&get("detailed-rank")?, '>')?,
+            analytic_rank: parse_mechs(&get("analytic-rank")?, '>')?,
+            max_rel_err: get("max-rel-err")?.parse().ok()?,
+            baseline_rel_err: get("baseline-rel-err")?.parse().ok()?,
+            divergence_shift: get("divergence-shift")?.parse().ok()?,
+        };
+        if id? != record.id() {
+            return None;
+        }
+        Some(record)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CliffRecord {
+        CliffRecord {
+            benchmark: "mcf".into(),
+            kind: CliffKind::Disagreement,
+            original: "l1d_mshr=1,ruu=16,mem=const200".into(),
+            minimal: "l1d_mshr=1".into(),
+            seed: 0xC0FFEE,
+            skip: 2_000,
+            simulate: 4_000,
+            bound: 0.25,
+            perturb: 0.0,
+            mechanisms: vec![MechanismKind::Base, MechanismKind::Sp, MechanismKind::Ghb],
+            detailed_cpi: vec![1.5234, 1.2, 1.25],
+            analytic_cpi: vec![1.1, 1.05, 1.07],
+            detailed_rank: vec![MechanismKind::Sp, MechanismKind::Ghb],
+            analytic_rank: vec![MechanismKind::Ghb, MechanismKind::Sp],
+            max_rel_err: 0.3125,
+            baseline_rel_err: 0.0312,
+            divergence_shift: 0.2813,
+        }
+    }
+
+    #[test]
+    fn render_parse_round_trips() {
+        let r = sample();
+        let text = r.render();
+        let parsed = CliffRecord::parse(&text).unwrap();
+        assert_eq!(parsed.render(), text);
+        assert_eq!(parsed.kind, r.kind);
+        assert_eq!(parsed.minimal, r.minimal);
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        assert_eq!(sample().render(), sample().render());
+    }
+
+    #[test]
+    fn tampered_body_fails_the_id_check() {
+        let text = sample().render().replace("1.2000", "1.2001");
+        assert_eq!(CliffRecord::parse(&text), None);
+    }
+
+    #[test]
+    fn different_content_gets_different_ids() {
+        let a = sample();
+        let mut b = sample();
+        b.minimal = "ruu=16".into();
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn repro_line_is_single_line_and_complete() {
+        let text = sample().render();
+        let repro = text
+            .lines()
+            .find(|l| l.starts_with("repro: "))
+            .expect("repro line");
+        assert!(repro.contains("MICROLIB_SEED=0xc0ffee"));
+        assert!(repro.contains("--mine-cell mcf:l1d_mshr=1"));
+    }
+}

@@ -1,0 +1,76 @@
+//! AnICA-style greedy delta minimization: revert knobs toward the
+//! baseline one at a time, keeping a reversion whenever the inconsistency
+//! survives without that knob, until no single reversion preserves it.
+
+use crate::space::ConfigDelta;
+
+/// Minimizes `delta` against `still_inconsistent`: repeatedly tries to
+/// drop each entry (ascending knob order) and keeps the drop when the
+/// oracle still reports the inconsistency, looping until a fixed point.
+///
+/// Guarantees (property-tested in `tests/miner_properties.rs`):
+/// the result is a subset of `delta`; if the oracle held on `delta` it
+/// holds on the result; and re-minimizing the result returns it
+/// unchanged. The oracle must be deterministic — in mining it is "does
+/// [`probe`](crate::probe) still report a cliff here", where a probe
+/// error counts as *consistent* (the reversion is rejected), so
+/// minimization never walks into cells it cannot evaluate.
+pub fn minimize(
+    delta: &ConfigDelta,
+    mut still_inconsistent: impl FnMut(&ConfigDelta) -> bool,
+) -> ConfigDelta {
+    let mut current = delta.clone();
+    loop {
+        let mut changed = false;
+        let mut position = 0;
+        while position < current.len() {
+            let candidate = current.without_entry(position);
+            if still_inconsistent(&candidate) {
+                current = candidate;
+                changed = true;
+                // Same position now holds the next entry.
+            } else {
+                position += 1;
+            }
+        }
+        if !changed {
+            return current;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_only_the_load_bearing_knob() {
+        let delta = ConfigDelta::new(vec![(0, 1), (2, 1), (6, 2)]);
+        let culprit = ConfigDelta::new(vec![(2, 1)]);
+        // Inconsistent iff knob 2 is off baseline.
+        let minimal = minimize(&delta, |d| culprit.is_subset_of(d));
+        assert_eq!(minimal, culprit);
+    }
+
+    #[test]
+    fn conjunction_of_two_knobs_survives() {
+        let delta = ConfigDelta::new(vec![(0, 1), (2, 1), (6, 2), (7, 3)]);
+        let needed = ConfigDelta::new(vec![(2, 1), (7, 3)]);
+        let minimal = minimize(&delta, |d| needed.is_subset_of(d));
+        assert_eq!(minimal, needed);
+    }
+
+    #[test]
+    fn always_inconsistent_minimizes_to_baseline() {
+        let delta = ConfigDelta::new(vec![(1, 1), (4, 2)]);
+        assert!(minimize(&delta, |_| true).is_empty());
+    }
+
+    #[test]
+    fn oracle_failing_everywhere_keeps_the_full_delta() {
+        // Degenerate: the cell itself is the only inconsistent point.
+        let delta = ConfigDelta::new(vec![(1, 1), (4, 2)]);
+        let minimal = minimize(&delta, |d| *d == delta);
+        assert_eq!(minimal, delta);
+    }
+}

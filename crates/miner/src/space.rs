@@ -1,0 +1,346 @@
+//! The miner's search space: a small table of configuration knobs, each a
+//! named list of values with the baseline at index 0, plus the
+//! [`ConfigDelta`] type (a sparse assignment of non-baseline values) and
+//! the deterministic cell sampler.
+
+use microlib::SimOptions;
+use microlib_model::{FidelityConfig, MemoryModel, SdramConfig, SystemConfig};
+use microlib_trace::TraceWindow;
+
+/// One knob: a name, its value labels (index 0 = baseline), and the
+/// function that applies a chosen value to a configuration under build.
+pub struct Knob {
+    /// Stable name used in delta keys and cliff records.
+    pub name: &'static str,
+    /// Value labels, baseline first.
+    pub labels: &'static [&'static str],
+    apply: fn(&mut SystemConfig, &mut SimOptions, usize),
+}
+
+impl std::fmt::Debug for Knob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Knob")
+            .field("name", &self.name)
+            .field("labels", &self.labels)
+            .finish()
+    }
+}
+
+fn set_l1d_kb(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    c.l1d.size_bytes = [32, 8, 16, 64][v] * 1024;
+}
+fn set_l1d_assoc(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    c.l1d.assoc = [1, 2, 4][v];
+}
+fn set_l1d_mshr(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    c.l1d.mshr_entries = [8, 1, 2, 4][v];
+}
+fn set_l1d_mshr_rd(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    c.l1d.mshr_reads_per_entry = [4, 1][v];
+}
+fn set_l2_kb(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    c.l2.size_bytes = [1024, 256, 512][v] * 1024;
+}
+fn set_l2_latency(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    c.l2.latency = [12, 6, 24][v];
+}
+fn set_ruu(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    let entries = [128, 16, 32, 64][v];
+    c.core.ruu_entries = entries;
+    c.core.lsq_entries = entries;
+}
+fn set_memory(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    c.memory = match v {
+        0 => MemoryModel::Sdram(SdramConfig::baseline()),
+        1 => MemoryModel::simplescalar_70(),
+        2 => MemoryModel::Sdram(SdramConfig::scaled_to_70_cycles()),
+        _ => MemoryModel::Constant { latency: 200 },
+    };
+}
+fn set_window(_: &mut SystemConfig, o: &mut SimOptions, v: usize) {
+    let div = [1, 2, 4][v];
+    o.window = TraceWindow::new(o.window.skip, (o.window.simulate / div).max(1_000));
+}
+fn set_fidelity(c: &mut SystemConfig, _: &mut SimOptions, v: usize) {
+    c.fidelity = match v {
+        0 => FidelityConfig::microlib(),
+        _ => FidelityConfig::simplescalar_like(),
+    };
+}
+
+/// The knob table. Every knob's baseline (index 0) reproduces
+/// [`SystemConfig::baseline`] + the caller's base [`SimOptions`], so the
+/// empty delta is exactly the baseline cell.
+pub const KNOBS: &[Knob] = &[
+    Knob {
+        name: "l1d_kb",
+        labels: &["32", "8", "16", "64"],
+        apply: set_l1d_kb,
+    },
+    Knob {
+        name: "l1d_assoc",
+        labels: &["1", "2", "4"],
+        apply: set_l1d_assoc,
+    },
+    Knob {
+        name: "l1d_mshr",
+        labels: &["8", "1", "2", "4"],
+        apply: set_l1d_mshr,
+    },
+    Knob {
+        name: "l1d_mshr_rd",
+        labels: &["4", "1"],
+        apply: set_l1d_mshr_rd,
+    },
+    Knob {
+        name: "l2_kb",
+        labels: &["1024", "256", "512"],
+        apply: set_l2_kb,
+    },
+    Knob {
+        name: "l2_lat",
+        labels: &["12", "6", "24"],
+        apply: set_l2_latency,
+    },
+    Knob {
+        name: "ruu",
+        labels: &["128", "16", "32", "64"],
+        apply: set_ruu,
+    },
+    Knob {
+        name: "mem",
+        labels: &["sdram170", "const70", "sdram70", "const200"],
+        apply: set_memory,
+    },
+    Knob {
+        name: "win",
+        labels: &["full", "half", "quarter"],
+        apply: set_window,
+    },
+    Knob {
+        name: "fidelity",
+        labels: &["microlib", "simplescalar"],
+        apply: set_fidelity,
+    },
+];
+
+/// The benchmarks the sampler draws cells from: a deliberately diverse
+/// slice — streaming (swim, art), pointer-chasing (mcf), branchy integer
+/// (gcc, gzip) and mixed-locality FP (ammp).
+pub const MINE_BENCHMARKS: [&str; 6] = ["swim", "mcf", "gcc", "art", "ammp", "gzip"];
+
+/// A sparse, sorted assignment of non-baseline knob values — the
+/// difference between a sampled cell's configuration and the baseline.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConfigDelta {
+    entries: Vec<(usize, usize)>, // (knob index, value index != 0), sorted
+}
+
+impl ConfigDelta {
+    /// Builds a delta from `(knob index, value index)` pairs; baseline
+    /// values (0) are dropped, duplicates keep the last assignment.
+    pub fn new(mut entries: Vec<(usize, usize)>) -> Self {
+        entries.retain(|&(k, v)| v != 0 && k < KNOBS.len() && v < KNOBS[k].labels.len());
+        entries.sort_unstable();
+        entries.dedup_by_key(|e| e.0);
+        ConfigDelta { entries }
+    }
+
+    /// The `(knob index, value index)` entries, sorted by knob.
+    pub fn entries(&self) -> &[(usize, usize)] {
+        &self.entries
+    }
+
+    /// Whether this is the baseline (empty) delta.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of non-baseline knobs.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether every entry of `self` also appears in `other`.
+    pub fn is_subset_of(&self, other: &ConfigDelta) -> bool {
+        self.entries.iter().all(|e| other.entries.contains(e))
+    }
+
+    /// The delta with the entry at `position` (into [`entries`]) removed —
+    /// the minimizer's single-knob reversion step.
+    ///
+    /// [`entries`]: ConfigDelta::entries
+    pub fn without_entry(&self, position: usize) -> ConfigDelta {
+        let mut entries = self.entries.clone();
+        entries.remove(position);
+        ConfigDelta { entries }
+    }
+
+    /// Canonical text form: `knob=label` pairs joined by `,`, or
+    /// `baseline` for the empty delta. [`parse`](ConfigDelta::parse)
+    /// round-trips it.
+    pub fn key(&self) -> String {
+        if self.entries.is_empty() {
+            return "baseline".to_owned();
+        }
+        self.entries
+            .iter()
+            .map(|&(k, v)| format!("{}={}", KNOBS[k].name, KNOBS[k].labels[v]))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Parses a [`key`](ConfigDelta::key)-formatted delta.
+    pub fn parse(key: &str) -> Option<ConfigDelta> {
+        let key = key.trim();
+        if key.is_empty() || key == "baseline" {
+            return Some(ConfigDelta::default());
+        }
+        let mut entries = Vec::new();
+        for part in key.split(',') {
+            let (name, label) = part.split_once('=')?;
+            let k = KNOBS.iter().position(|kn| kn.name == name.trim())?;
+            let v = KNOBS[k].labels.iter().position(|l| *l == label.trim())?;
+            if v != 0 {
+                entries.push((k, v));
+            }
+        }
+        Some(ConfigDelta::new(entries))
+    }
+
+    /// Applies the delta on top of [`SystemConfig::baseline`] and the
+    /// caller's base options.
+    pub fn apply(&self, base_opts: &SimOptions) -> (SystemConfig, SimOptions) {
+        let mut config = SystemConfig::baseline();
+        let mut opts = *base_opts;
+        for &(k, v) in &self.entries {
+            (KNOBS[k].apply)(&mut config, &mut opts, v);
+        }
+        (config, opts)
+    }
+
+    /// Whether the configuration this delta produces passes validation.
+    pub fn is_valid(&self, base_opts: &SimOptions) -> bool {
+        self.apply(base_opts).0.validate().is_ok()
+    }
+}
+
+/// SplitMix64 — the deterministic generator behind the sampler.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Deterministically samples cell `index` of the run seeded by `seed`:
+/// a benchmark plus a sparse config delta (each knob stays at baseline
+/// with probability 5/8). Invalid configurations are resampled with a
+/// bumped salt, so the function is total and reproducible.
+pub fn sample_cell(seed: u64, index: u64, base_opts: &SimOptions) -> (&'static str, ConfigDelta) {
+    for salt in 0..64u64 {
+        let cell = mix(seed ^ mix(index.wrapping_mul(0x9E37).wrapping_add(salt)));
+        let benchmark = MINE_BENCHMARKS[(cell % MINE_BENCHMARKS.len() as u64) as usize];
+        let mut entries = Vec::new();
+        for (k, knob) in KNOBS.iter().enumerate() {
+            let draw = mix(cell ^ (k as u64).wrapping_mul(0xA5A5_A5A5));
+            if draw % 8 < 5 {
+                continue; // baseline
+            }
+            let v = 1 + ((draw >> 3) % (knob.labels.len() as u64 - 1)) as usize;
+            entries.push((k, v));
+        }
+        let delta = ConfigDelta::new(entries);
+        if delta.is_valid(base_opts) {
+            return (benchmark, delta);
+        }
+    }
+    // Unreachable in practice (the baseline delta is always valid after
+    // at most a few salts), but stay total.
+    (MINE_BENCHMARKS[0], ConfigDelta::default())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> SimOptions {
+        SimOptions {
+            window: TraceWindow::new(2_000, 8_000),
+            ..SimOptions::default()
+        }
+    }
+
+    #[test]
+    fn key_round_trips() {
+        let d = ConfigDelta::new(vec![(2, 1), (6, 2), (7, 3)]);
+        assert_eq!(ConfigDelta::parse(&d.key()).unwrap(), d);
+        assert_eq!(
+            ConfigDelta::parse("baseline").unwrap(),
+            ConfigDelta::default()
+        );
+        assert_eq!(ConfigDelta::default().key(), "baseline");
+    }
+
+    #[test]
+    fn parse_rejects_unknown_knobs() {
+        assert!(ConfigDelta::parse("warp_drive=9").is_none());
+        assert!(ConfigDelta::parse("l1d_kb=3").is_none());
+    }
+
+    #[test]
+    fn empty_delta_is_the_baseline() {
+        let (config, o) = ConfigDelta::default().apply(&opts());
+        assert_eq!(config, SystemConfig::baseline());
+        assert_eq!(o.window, opts().window);
+    }
+
+    #[test]
+    fn apply_sets_the_named_knobs() {
+        let d = ConfigDelta::parse("l1d_mshr=1,ruu=16,mem=const200").unwrap();
+        let (config, _) = d.apply(&opts());
+        assert_eq!(config.l1d.mshr_entries, 1);
+        assert_eq!(config.core.ruu_entries, 16);
+        assert_eq!(config.core.lsq_entries, 16);
+        assert!(matches!(
+            config.memory,
+            MemoryModel::Constant { latency: 200 }
+        ));
+    }
+
+    #[test]
+    fn window_knob_scales_only_the_measured_window() {
+        let d = ConfigDelta::parse("win=quarter").unwrap();
+        let (_, o) = d.apply(&opts());
+        assert_eq!(o.window.skip, 2_000);
+        assert_eq!(o.window.simulate, 2_000);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_valid() {
+        let o = opts();
+        for i in 0..200 {
+            let (b1, d1) = sample_cell(0xC0FFEE, i, &o);
+            let (b2, d2) = sample_cell(0xC0FFEE, i, &o);
+            assert_eq!((b1, &d1), (b2, &d2));
+            assert!(d1.is_valid(&o), "cell {i} sampled invalid {}", d1.key());
+        }
+    }
+
+    #[test]
+    fn sampling_covers_nonbaseline_cells() {
+        let o = opts();
+        let nonempty = (0..64)
+            .filter(|i| !sample_cell(7, *i, &o).1.is_empty())
+            .count();
+        assert!(nonempty > 32, "only {nonempty}/64 cells had deltas");
+    }
+
+    #[test]
+    fn without_entry_shrinks_by_one() {
+        let d = ConfigDelta::new(vec![(1, 1), (4, 2)]);
+        let smaller = d.without_entry(0);
+        assert_eq!(smaller.len(), 1);
+        assert!(smaller.is_subset_of(&d));
+    }
+}
