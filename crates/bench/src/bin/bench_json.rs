@@ -29,6 +29,7 @@ use microlib::{run_one, SimOptions};
 use microlib_mech::MechanismKind;
 use microlib_mem::{CacheArray, MemToken, MemorySystem, MshrFile, MshrTarget, Sdram};
 use microlib_model::{Addr, CacheConfig, Cycle, LineData, SdramConfig, SystemConfig};
+use microlib_serve::{CampaignOutcome, Client, Server, ServerConfig};
 use microlib_trace::{benchmarks, TraceBuffer, TraceWindow, Workload};
 use std::sync::Arc;
 use std::time::Instant;
@@ -53,6 +54,7 @@ const BENCHES: &[&str] = &[
     "mshr_insert_complete_x8",
     "sdram/row_hit_stream_32",
     "warmup/warm_inst_10k",
+    "serve/cell_query_warm",
 ];
 
 struct Row {
@@ -198,6 +200,40 @@ fn measure_warm() -> Row {
     row("warmup/warm_inst_10k", 10_000, best_ns)
 }
 
+/// One warm-cache single-cell campaign query through the full HTTP path:
+/// connect, POST the spec, stream the answer back. The first query
+/// computes and memoizes the cell; every timed iteration is a memo hit,
+/// so this row tracks the *service* overhead (spec parse, queueing,
+/// scheduling, socket round trip), which is what a regression gate over
+/// the daemon should watch. `insts_per_s` is queries per second — same
+/// field, same gate arithmetic as the substrate rows.
+fn measure_serve() -> Row {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        threads: 2,
+        queue_cap: 64,
+        cache_dir: None,
+        resident_cap_bytes: None,
+    })
+    .expect("bind serve bench daemon");
+    let client = Client::new(server.addr().to_string());
+    let spec = format!(
+        r#"{{"benchmarks":["swim"],"mechanisms":["Base"],"window":{{"skip":2000,"simulate":{INSTS}}}}}"#
+    );
+    let pass = || {
+        match client.campaign(&spec).expect("serve bench query") {
+            CampaignOutcome::Completed(lines) => assert_eq!(lines.len(), 1),
+            CampaignOutcome::Rejected(r) => panic!("serve bench rejected: {}", r.status),
+        };
+    };
+    for _ in 0..3 {
+        pass();
+    }
+    let best_ns = best_of(5, 50, pass);
+    drop(server);
+    row("serve/cell_query_warm", 1, best_ns)
+}
+
 fn measure_named(bench: &str) -> Row {
     match bench {
         "simulator/swim_Base_5k_insts" => measure_simulator(MechanismKind::Base),
@@ -206,6 +242,7 @@ fn measure_named(bench: &str) -> Row {
         "mshr_insert_complete_x8" => measure_mshr(),
         "sdram/row_hit_stream_32" => measure_sdram(),
         "warmup/warm_inst_10k" => measure_warm(),
+        "serve/cell_query_warm" => measure_serve(),
         other => panic!("unknown bench {other}"),
     }
 }

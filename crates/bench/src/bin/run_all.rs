@@ -837,6 +837,10 @@ fn run_mine(cli: &Cli) -> i32 {
     }
     let cx = Context::new();
     let store = cx.store();
+    // Drop-time sweep: even a panicking mine run releases its leases and
+    // syncs the journal (the explicit finish() calls below still cover
+    // the exit() paths, which skip Drop).
+    let _finish = store.finish_guard();
     if let Some(spec) = &cli.mine_cell {
         return match reprobe_cell(store, spec, &cfg) {
             Ok(text) => {
@@ -988,6 +992,10 @@ fn main() {
     let out_dir = cli.out_dir.clone().unwrap_or_else(|| default_out_dir(&cli));
     fs::create_dir_all(&out_dir).expect("results dir");
     let mut cx = Context::new();
+    // Drop-time sweep for every path that unwinds or returns without
+    // reaching the explicit finish() below: no exit leaves lease files
+    // behind. (exit() skips Drop, but those paths finish() explicitly.)
+    let _finish = cx.store().finish_guard();
     if let Some(spec) = &cli.shard {
         println!(
             ">>> worker{}: shard {spec}, cache {}",

@@ -1,0 +1,125 @@
+//! CLI client for the `microlib-serve` daemon — the tool CI and the
+//! integration tests drive the end-to-end service checks with.
+//!
+//! ```text
+//! serve_client submit  --addr HOST:PORT (--spec JSON | --spec-file F)
+//! serve_client local   (--spec JSON | --spec-file F) [--cache-dir DIR]
+//! serve_client metrics --addr HOST:PORT
+//! ```
+//!
+//! `submit` posts the spec and prints the streamed NDJSON lines restored
+//! to grid order; `local` computes the same spec directly (no HTTP, no
+//! daemon) through the identical rendering path — so `diff <(submit)
+//! <(local)` is the byte-level proof that the service answers exactly
+//! what the library computes. `metrics` prints the daemon's counter
+//! text. Exit codes: 0 success, 1 runtime/HTTP failure, 2 usage.
+
+use microlib::ArtifactStore;
+use microlib_serve::{run_cell, CampaignOutcome, CampaignSpec, Client};
+use std::process::exit;
+
+struct Cli {
+    mode: String,
+    addr: Option<String>,
+    spec: Option<String>,
+    cache_dir: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_client submit  --addr HOST:PORT (--spec JSON | --spec-file FILE)\n\
+         \x20      serve_client local   (--spec JSON | --spec-file FILE) [--cache-dir DIR]\n\
+         \x20      serve_client metrics --addr HOST:PORT"
+    );
+    exit(2);
+}
+
+fn parse_cli() -> Cli {
+    let mut args = std::env::args().skip(1);
+    let Some(mode) = args.next() else { usage() };
+    let mut cli = Cli {
+        mode,
+        addr: None,
+        spec: None,
+        cache_dir: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || args.next().unwrap_or_else(|| usage());
+        match flag.as_str() {
+            "--addr" => cli.addr = Some(value()),
+            "--spec" => cli.spec = Some(value()),
+            "--spec-file" => {
+                let path = value();
+                match std::fs::read_to_string(&path) {
+                    Ok(text) => cli.spec = Some(text),
+                    Err(e) => {
+                        eprintln!("serve_client: cannot read {path}: {e}");
+                        exit(1);
+                    }
+                }
+            }
+            "--cache-dir" => cli.cache_dir = Some(value()),
+            _ => usage(),
+        }
+    }
+    cli
+}
+
+fn main() {
+    let cli = parse_cli();
+    match cli.mode.as_str() {
+        "submit" => {
+            let (Some(addr), Some(spec)) = (&cli.addr, &cli.spec) else {
+                usage()
+            };
+            match Client::new(addr.clone()).campaign(spec) {
+                Ok(CampaignOutcome::Completed(lines)) => {
+                    for line in lines {
+                        println!("{line}");
+                    }
+                }
+                Ok(CampaignOutcome::Rejected(response)) => {
+                    eprintln!(
+                        "serve_client: rejected with {}: {}",
+                        response.status,
+                        response.body.trim_end()
+                    );
+                    exit(1);
+                }
+                Err(e) => {
+                    eprintln!("serve_client: {e}");
+                    exit(1);
+                }
+            }
+        }
+        "local" => {
+            let Some(spec_text) = &cli.spec else { usage() };
+            let spec = match CampaignSpec::parse(spec_text) {
+                Ok(spec) => spec,
+                Err(e) => {
+                    eprintln!("serve_client: bad spec: {e}");
+                    exit(1);
+                }
+            };
+            let mut store = ArtifactStore::new();
+            if let Some(dir) = &cli.cache_dir {
+                store = store.with_disk_cache(dir);
+            }
+            for cell in spec.cells() {
+                println!("{}", run_cell(&store, &cell));
+            }
+            store.finish();
+        }
+        "metrics" => {
+            let Some(addr) = &cli.addr else { usage() };
+            match Client::new(addr.clone()).metrics() {
+                Ok(text) => print!("{text}"),
+                Err(e) => {
+                    eprintln!("serve_client: {e}");
+                    exit(1);
+                }
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -63,7 +63,7 @@ use microlib_trace::{benchmarks, SamplingPlan, TraceBuffer, TraceWindow, Workloa
 use std::collections::HashMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// A stable identity string for a [`SystemConfig`]: every field, via the
@@ -103,6 +103,43 @@ struct TraceSlot {
 struct WarmGate {
     requests: u32,
     state: Option<Arc<WarmState>>,
+    /// Approximate resident footprint of `state` (0 when empty), counted
+    /// against the store-wide resident byte budget.
+    bytes: usize,
+    /// LRU stamp: the store-wide tick of the most recent request that
+    /// touched this gate's state.
+    last_used: u64,
+}
+
+/// One in-flight computation of a memoized cell in this process: the
+/// first requester of a key becomes the *leader* and computes; concurrent
+/// same-key requesters block on the condvar until the leader completes,
+/// then re-probe the memo instead of re-simulating (single-flight).
+#[derive(Default)]
+struct Flight {
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// Deregisters a leader's flight and wakes its followers — on success,
+/// failure, *and* panic (the guard drops during unwinding, so followers
+/// never deadlock on a crashed leader).
+struct FlightGuard<'a> {
+    store: &'a ArtifactStore,
+    key: &'a str,
+    flight: Arc<Flight>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        self.store
+            .inflight
+            .lock()
+            .expect("inflight lock")
+            .remove(self.key);
+        *self.flight.done.lock().expect("flight lock") = true;
+        self.flight.cv.notify_all();
+    }
 }
 /// (benchmark, seed, skip, warm start, configuration key) — see
 /// [`config_key`].
@@ -156,6 +193,13 @@ pub struct ArtifactStoreStats {
     /// Cells refused because they were quarantined (crashed too many
     /// consecutive claimers).
     pub cells_quarantined: u64,
+    /// Same-key cell requests that arrived while the cell was already
+    /// being computed in this process and waited for the leader's memo
+    /// instead of re-simulating (in-process single-flight).
+    pub memo_coalesced: u64,
+    /// Resident warm states dropped to respect the byte cap set by
+    /// [`ArtifactStore::set_warm_resident_cap`].
+    pub warm_evictions: u64,
 }
 
 impl ArtifactStoreStats {
@@ -201,6 +245,13 @@ pub struct ArtifactStore {
     warm: Mutex<HashMap<WarmKey, Arc<Mutex<WarmGate>>>>,
     plans: Mutex<HashMap<PlanKey, Arc<PlanSlot>>>,
     memo: Mutex<HashMap<String, Arc<RunResult>>>,
+    inflight: Mutex<HashMap<String, Arc<Flight>>>,
+    /// Resident warm-state budget in bytes (`u64::MAX` = unbounded).
+    warm_cap: AtomicU64,
+    /// Approximate bytes currently held by resident warm states.
+    warm_bytes: AtomicU64,
+    /// Monotone tick stamping warm-state recency for LRU eviction.
+    warm_tick: AtomicU64,
     trace_hits: AtomicU64,
     trace_misses: AtomicU64,
     warm_hits: AtomicU64,
@@ -216,6 +267,8 @@ pub struct ArtifactStore {
     lease_claims: AtomicU64,
     lease_waits: AtomicU64,
     cells_quarantined: AtomicU64,
+    memo_coalesced: AtomicU64,
+    warm_evictions: AtomicU64,
 }
 
 impl std::fmt::Debug for ArtifactStore {
@@ -251,6 +304,10 @@ impl ArtifactStore {
             warm: Mutex::new(HashMap::new()),
             plans: Mutex::new(HashMap::new()),
             memo: Mutex::new(HashMap::new()),
+            inflight: Mutex::new(HashMap::new()),
+            warm_cap: AtomicU64::new(u64::MAX),
+            warm_bytes: AtomicU64::new(0),
+            warm_tick: AtomicU64::new(0),
             trace_hits: AtomicU64::new(0),
             trace_misses: AtomicU64::new(0),
             warm_hits: AtomicU64::new(0),
@@ -266,6 +323,8 @@ impl ArtifactStore {
             lease_claims: AtomicU64::new(0),
             lease_waits: AtomicU64::new(0),
             cells_quarantined: AtomicU64::new(0),
+            memo_coalesced: AtomicU64::new(0),
+            warm_evictions: AtomicU64::new(0),
         }
     }
 
@@ -383,6 +442,8 @@ impl ArtifactStore {
             lease_claims: self.lease_claims.load(Ordering::Relaxed),
             lease_waits: self.lease_waits.load(Ordering::Relaxed),
             cells_quarantined: self.cells_quarantined.load(Ordering::Relaxed),
+            memo_coalesced: self.memo_coalesced.load(Ordering::Relaxed),
+            warm_evictions: self.warm_evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -466,9 +527,10 @@ impl ArtifactStore {
         // Per-key lock: a concurrent same-key requester waits for the
         // capture instead of duplicating it.
         let mut gate = gate.lock().expect("warm gate lock");
-        if let Some(state) = &gate.state {
+        if let Some(state) = gate.state.clone() {
             self.warm_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Some(Arc::clone(state)));
+            gate.last_used = self.warm_tick.fetch_add(1, Ordering::Relaxed);
+            return Ok(Some(state));
         }
         // The disk key is only built when a disk tier exists: most warm
         // requests resolve in memory (hit, or first-requester decline), and
@@ -500,7 +562,9 @@ impl ArtifactStore {
             {
                 self.warm_disk_hits.fetch_add(1, Ordering::Relaxed);
                 let state = Arc::new(state);
-                gate.state = Some(Arc::clone(&state));
+                self.warm_install(&mut gate, &state);
+                drop(gate);
+                self.enforce_warm_cap();
                 return Ok(Some(state));
             }
         }
@@ -530,8 +594,74 @@ impl ArtifactStore {
                 disk.store("warm", key, e.as_bytes());
             }
         }
-        gate.state = Some(Arc::clone(&state));
+        self.warm_install(&mut gate, &state);
+        drop(gate);
+        self.enforce_warm_cap();
         Ok(Some(state))
+    }
+
+    /// Records `state` into its gate and charges its footprint against
+    /// the resident byte budget. Callers drop the gate lock and call
+    /// [`enforce_warm_cap`](Self::enforce_warm_cap) afterwards.
+    fn warm_install(&self, gate: &mut WarmGate, state: &Arc<WarmState>) {
+        gate.bytes = state.resident_bytes();
+        gate.last_used = self.warm_tick.fetch_add(1, Ordering::Relaxed);
+        gate.state = Some(Arc::clone(state));
+        self.warm_bytes
+            .fetch_add(gate.bytes as u64, Ordering::Relaxed);
+    }
+
+    /// Caps the bytes of warm states kept resident between requests:
+    /// least-recently-used states are dropped (their capture gates stay
+    /// armed, so a later request re-captures immediately) until the
+    /// estimate fits. `u64::MAX` — the default — disables eviction.
+    /// Long-lived processes (the `microlib-serve` daemon sets this from
+    /// `MICROLIB_SERVE_RESIDENT_MB`) use it to bound steady-state RSS.
+    pub fn set_warm_resident_cap(&self, bytes: u64) {
+        self.warm_cap.store(bytes, Ordering::Relaxed);
+        self.enforce_warm_cap();
+    }
+
+    /// Approximate bytes currently held by resident warm states.
+    pub fn warm_resident_bytes(&self) -> u64 {
+        self.warm_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Evicts least-recently-used warm states until the resident estimate
+    /// fits the cap. Gates locked by a concurrent requester are skipped
+    /// via `try_lock` — they are in active use (the opposite of an LRU
+    /// victim), and skipping them keeps this free of lock-order cycles
+    /// with `warm_state`, which calls in while holding its own gate.
+    fn enforce_warm_cap(&self) {
+        let cap = self.warm_cap.load(Ordering::Relaxed);
+        if self.warm_bytes.load(Ordering::Relaxed) <= cap {
+            return;
+        }
+        let gates: Vec<Arc<Mutex<WarmGate>>> = {
+            let warm = self.warm.lock().expect("warm map lock");
+            warm.values().cloned().collect()
+        };
+        let mut candidates: Vec<(u64, Arc<Mutex<WarmGate>>)> = Vec::new();
+        for gate in gates {
+            if let Ok(g) = gate.try_lock() {
+                if g.state.is_some() {
+                    candidates.push((g.last_used, Arc::clone(&gate)));
+                }
+            }
+        }
+        candidates.sort_by_key(|(last_used, _)| *last_used);
+        for (_, gate) in candidates {
+            if self.warm_bytes.load(Ordering::Relaxed) <= cap {
+                break;
+            }
+            if let Ok(mut g) = gate.try_lock() {
+                if g.state.take().is_some() {
+                    self.warm_bytes.fetch_sub(g.bytes as u64, Ordering::Relaxed);
+                    g.bytes = 0;
+                    self.warm_evictions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
     }
 
     /// The shared sampling plan for a window of `benchmark`: the BBV
@@ -613,6 +743,7 @@ impl ArtifactStore {
     /// and are kept.
     pub fn clear_warm_states(&self) {
         self.warm.lock().expect("warm map lock").clear();
+        self.warm_bytes.store(0, Ordering::Relaxed);
     }
 
     pub(crate) fn memo_key(
@@ -675,7 +806,73 @@ impl ArtifactStore {
         repro: &str,
         compute: impl FnOnce() -> Result<RunResult, SimError>,
     ) -> Result<Arc<RunResult>, SimError> {
+        // In-process single-flight: concurrent same-key requests elect
+        // one leader; the rest block until its memo lands. This layers
+        // *under* the lease protocol — the leader still claims the
+        // cross-process lease — so N concurrent requests in one process
+        // cost one lease claim and one simulation, not N.
+        enum Role {
+            Leader(Arc<Flight>),
+            Follower(Arc<Flight>),
+        }
+        let mut compute = Some(compute);
+        loop {
+            if let Some(hit) = self.memo_probe(key) {
+                return Ok(hit);
+            }
+            let role = {
+                let mut inflight = self.inflight.lock().expect("inflight lock");
+                match inflight.get(key) {
+                    Some(flight) => Role::Follower(Arc::clone(flight)),
+                    None => {
+                        let flight = Arc::new(Flight::default());
+                        inflight.insert(key.to_owned(), Arc::clone(&flight));
+                        Role::Leader(flight)
+                    }
+                }
+            };
+            match role {
+                Role::Leader(flight) => {
+                    let _deregister = FlightGuard {
+                        store: self,
+                        key,
+                        flight,
+                    };
+                    let compute = compute.take().expect("leadership is acquired once");
+                    return self.memo_run_leader(key, cell, benchmark, repro, compute);
+                }
+                Role::Follower(flight) => {
+                    self.memo_coalesced.fetch_add(1, Ordering::Relaxed);
+                    let mut done = flight.done.lock().expect("flight lock");
+                    while !*done {
+                        done = flight.cv.wait(done).expect("flight lock");
+                    }
+                    // Leader finished: on success the probe at the top of
+                    // the loop hits its memo; on failure (or panic) this
+                    // request retries for leadership and computes itself.
+                }
+            }
+        }
+    }
+
+    /// The compute-and-journal path of [`memo_run`](Self::memo_run), run
+    /// by exactly one thread per key at a time.
+    fn memo_run_leader(
+        &self,
+        key: &str,
+        cell: &str,
+        benchmark: &str,
+        repro: &str,
+        compute: impl FnOnce() -> Result<RunResult, SimError>,
+    ) -> Result<Arc<RunResult>, SimError> {
         let Some(lease) = &self.lease else {
+            // A prior leader deregisters only after journaling its memo,
+            // so this probe closes the probe→register race: if the key
+            // landed between the caller's probe and our registration, it
+            // is visible here.
+            if let Some(hit) = self.memo_probe(key) {
+                return Ok(hit);
+            }
             self.memo_misses.fetch_add(1, Ordering::Relaxed);
             let result = compute()?;
             self.memo_put(key.to_owned(), result);
@@ -759,6 +956,18 @@ impl ArtifactStore {
         }
     }
 
+    /// An RAII handle over [`finish`](ArtifactStore::finish): the sweep
+    /// runs when the guard drops — on clean returns, early `?` exits
+    /// *and* unwinding panics alike — so exit paths that forget (or never
+    /// reach) an explicit `finish()` cannot leak lease files. `finish` is
+    /// idempotent; guarded code may still call it explicitly before a
+    /// `std::process::exit` (which skips `Drop`).
+    pub fn finish_guard(self: &Arc<Self>) -> FinishGuard {
+        FinishGuard {
+            store: Arc::clone(self),
+        }
+    }
+
     /// Journals a completed cell: into RAM and — with a disk tier — as
     /// one atomically written file, immediately, so a killed campaign
     /// resumes from exactly the cells that finished.
@@ -772,6 +981,35 @@ impl ArtifactStore {
             .lock()
             .expect("memo lock")
             .insert(key, Arc::new(result));
+    }
+}
+
+/// Runs [`ArtifactStore::finish`] on drop (see
+/// [`ArtifactStore::finish_guard`]): lease files are released and the
+/// memo journal fsynced however the scope exits — including panics —
+/// which is what lets the serve daemon's drain path and panicking tests
+/// guarantee a lease-free cache directory.
+#[must_use = "the sweep runs when the guard drops; an unbound guard drops immediately"]
+pub struct FinishGuard {
+    store: Arc<ArtifactStore>,
+}
+
+impl FinishGuard {
+    /// The guarded store.
+    pub fn store(&self) -> &Arc<ArtifactStore> {
+        &self.store
+    }
+}
+
+impl std::fmt::Debug for FinishGuard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FinishGuard").finish_non_exhaustive()
+    }
+}
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.store.finish();
     }
 }
 

@@ -69,7 +69,7 @@ mod simulator;
 mod validation;
 
 pub use analytic::{run_analytic, AnalyticResult};
-pub use artifacts::{config_key, ArtifactStore, ArtifactStoreStats};
+pub use artifacts::{config_key, ArtifactStore, ArtifactStoreStats, FinishGuard};
 pub use campaign::{Campaign, CampaignCell, CampaignReport, CellUpdate};
 pub use disk::{DiskCache, FORMAT_VERSION};
 pub use experiment::{run_matrix, ExperimentConfig, Matrix};

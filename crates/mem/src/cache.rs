@@ -530,6 +530,17 @@ impl CacheArray {
 /// of the last warm data hit and re-validates it with a single compare
 /// instead of re-running the set scan. See `MemorySystem::warm_inst`.
 impl CacheArray {
+    /// Approximate resident heap footprint in bytes: the three parallel
+    /// slot arrays plus line payloads (inline header + `line_bytes` of
+    /// data per slot).
+    pub fn resident_bytes(&self) -> usize {
+        let slots = self.tags.len();
+        slots
+            * (3 * std::mem::size_of::<u64>()
+                + std::mem::size_of::<LineData>()
+                + self.config.line_bytes as usize)
+    }
+
     /// Like [`CacheArray::lookup`], but also returns the flat slot index
     /// for later [`CacheArray::warm_slot_hit`] re-validation.
     pub(crate) fn lookup_slot(&mut self, addr: Addr) -> Option<(HitInfo, usize)> {

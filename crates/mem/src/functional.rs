@@ -112,6 +112,15 @@ impl SparseMemory {
         Arc::make_mut(page)[word] = value;
     }
 
+    /// Approximate resident heap footprint in bytes: materialized pages
+    /// plus per-page map overhead. Copy-on-write pages shared with another
+    /// image are counted here too — the estimate prices each map as if it
+    /// owned its pages, which is the upper bound a cache-eviction policy
+    /// wants.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * (PAGE_WORDS * 8 + 2 * std::mem::size_of::<u64>())
+    }
+
     /// Reads a whole line of `line_bytes` starting at the line containing
     /// `addr`.
     ///
@@ -317,6 +326,12 @@ impl FunctionalMemory {
     pub fn initialize_word(&mut self, addr: Addr, value: u64) {
         self.arch.write_word(addr, value);
         self.dram.write_word(addr, value);
+    }
+
+    /// Approximate resident heap footprint in bytes (both images; see
+    /// [`SparseMemory::resident_bytes`]).
+    pub fn resident_bytes(&self) -> usize {
+        self.arch.resident_bytes() + self.dram.resident_bytes()
     }
 
     /// The DRAM image (what fills read and writebacks write).

@@ -60,6 +60,16 @@ impl WarmCheckpoint {
     pub fn warm_clock(&self) -> u64 {
         self.warm_clock
     }
+
+    /// Approximate resident heap footprint in bytes: the functional
+    /// images plus the three cache arrays. Used by the artifact store's
+    /// byte-capped resident-warm-state budget.
+    pub fn resident_bytes(&self) -> usize {
+        self.functional.resident_bytes()
+            + self.l1d.resident_bytes()
+            + self.l1i.resident_bytes()
+            + self.l2.resident_bytes()
+    }
 }
 
 /// One mechanism-visible event recorded during the warm phase, tagged with
@@ -137,6 +147,18 @@ pub struct WarmState {
     pub checkpoint: WarmCheckpoint,
     /// Mechanism-visible event stream of the same warm phase.
     pub log: WarmLog,
+}
+
+impl WarmState {
+    /// Approximate resident heap footprint in bytes: the checkpoint
+    /// (images + cache arrays) plus the recorded event log. An estimate —
+    /// copy-on-write pages shared with the workload image are priced as
+    /// owned — sized for LRU byte budgeting, not exact accounting.
+    pub fn resident_bytes(&self) -> usize {
+        self.checkpoint.resident_bytes()
+            + self.log.events.len() * std::mem::size_of::<WarmEvent>()
+            + std::mem::size_of::<WarmLog>()
+    }
 }
 
 impl BinCodec for WarmEvent {

@@ -1,0 +1,323 @@
+//! A minimal JSON reader/writer — just enough for campaign specs and
+//! NDJSON result lines, std-only like the rest of the workspace.
+//!
+//! The parser is a plain recursive-descent over the RFC 8259 grammar;
+//! numbers are held as `f64` (campaign specs never need more than 53
+//! bits — seeds beyond that are passed as hex strings). Output goes the
+//! other way through [`escape`], which produces the canonical minimal
+//! escaping (`"`, `\`, control characters).
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object. Key order is not preserved (specs are order-free).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// Parses a complete JSON document (trailing garbage is an error).
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message naming the byte offset of the problem.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            at: 0,
+        };
+        p.skip_ws();
+        let value = p.value()?;
+        p.skip_ws();
+        if p.at != p.bytes.len() {
+            return Err(format!("trailing data at byte {}", p.at));
+        }
+        Ok(value)
+    }
+
+    /// Member lookup on an object (`None` elsewhere).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.get(key),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64`, if this is a non-negative integer
+    /// (or a string holding one, decimal or `0x`-hex — the escape hatch
+    /// for values beyond 53 bits).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => Some(*n as u64),
+            Json::Str(s) => match s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+                Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                None => s.parse().ok(),
+            },
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    at: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(b' ' | b'\t' | b'\n' | b'\r') = self.bytes.get(self.at) {
+            self.at += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), String> {
+        if self.bytes.get(self.at) == Some(&byte) {
+            self.at += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", byte as char, self.at))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.bytes.get(self.at) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(_) => self.number(),
+            None => Err("unexpected end of input".to_owned()),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.at..].starts_with(word.as_bytes()) {
+            self.at += word.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {}", self.at))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.at;
+        while let Some(b) = self.bytes.get(self.at) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.at += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.at])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .filter(|n| n.is_finite())
+            .map(Json::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.at) {
+                None => return Err("unterminated string".to_owned()),
+                Some(b'"') => {
+                    self.at += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.at += 1;
+                    let escape = *self
+                        .bytes
+                        .get(self.at)
+                        .ok_or_else(|| "unterminated escape".to_owned())?;
+                    self.at += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.at..self.at + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| format!("bad \\u escape at byte {}", self.at))?;
+                            self.at += 4;
+                            // Surrogate pairs are rejected rather than
+                            // combined: spec fields are ASCII in practice.
+                            out.push(
+                                char::from_u32(hex)
+                                    .ok_or_else(|| "surrogate in \\u escape".to_owned())?,
+                            );
+                        }
+                        other => return Err(format!("bad escape '\\{}'", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so the
+                    // boundaries are valid by construction).
+                    let rest = &self.bytes[self.at..];
+                    let s = unsafe_free_utf8_prefix(rest);
+                    out.push_str(s);
+                    self.at += s.len();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b']') {
+            self.at += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b']') => {
+                    self.at += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.at)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = BTreeMap::new();
+        self.skip_ws();
+        if self.bytes.get(self.at) == Some(&b'}') {
+            self.at += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            members.insert(key, self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.at) {
+                Some(b',') => self.at += 1,
+                Some(b'}') => {
+                    self.at += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.at)),
+            }
+        }
+    }
+}
+
+/// The longest prefix of `bytes` that is plain string content (stops at
+/// `"`, `\` or end). Input comes from a `&str`, so slicing at these
+/// ASCII delimiters keeps UTF-8 boundaries intact.
+fn unsafe_free_utf8_prefix(bytes: &[u8]) -> &str {
+    let end = bytes
+        .iter()
+        .position(|&b| b == b'"' || b == b'\\')
+        .unwrap_or(bytes.len());
+    std::str::from_utf8(&bytes[..end]).expect("slice of a str at ASCII delimiters")
+}
+
+/// Escapes `s` as the *contents* of a JSON string (no surrounding
+/// quotes): `"`, `\` and control characters only — the minimal canonical
+/// form, so equal strings always render equal bytes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_spec_shapes() {
+        let doc = r#"{"benchmarks":["swim","gcc"],"window":{"skip":2000,"simulate":2000},
+                      "seed":"0xC0FFEE","deep":[1,2.5,-3,true,false,null],"s":"a\"b\\c\nd\u0041"}"#;
+        let v = Json::parse(doc).unwrap();
+        assert_eq!(v.get("benchmarks").unwrap().as_arr().unwrap().len(), 2);
+        assert_eq!(
+            v.get("window").unwrap().get("skip").unwrap().as_u64(),
+            Some(2000)
+        );
+        assert_eq!(v.get("seed").unwrap().as_u64(), Some(0xC0FFEE));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("a\"b\\c\ndA"));
+        assert_eq!(
+            v.get("deep").unwrap().as_arr().unwrap()[3],
+            Json::Bool(true)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in ["", "{", "[1,", "{\"a\":}", "nul", "1 2", "\"\\q\""] {
+            assert!(Json::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn escape_round_trips() {
+        let original = "a\"b\\c\nd\te\u{1}";
+        let doc = format!("\"{}\"", escape(original));
+        assert_eq!(Json::parse(&doc).unwrap().as_str(), Some(original));
+    }
+}
